@@ -1,0 +1,60 @@
+// Ablation — §4.1.2's load-balance parameter alpha: the fraction of
+// processes assigned to the off-diagonal A^T B sub-tree.
+//
+// The paper derives alpha = 1/2 from equating per-process multiplication
+// counts (gemm work is ~2x syrk work, and the tree gives the gemm side
+// half the processes). This bench sweeps alpha and reports the max
+// per-process flops (the balance objective) plus wall time.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dist/ata_dist.hpp"
+#include "sched/dist_tree.hpp"
+
+int main(int argc, char** argv) {
+  using namespace atalib;
+
+  CliFlags flags;
+  bench::add_common_flags(flags);
+  flags.add_int("n", 768, "square matrix size");
+  flags.add_int("procs", 16, "process count");
+  if (!flags.parse(argc, argv)) return 1;
+  const double scale = flags.get_double("scale");
+  const index_t n = bench::scaled(flags.get_int("n"), scale);
+  const int procs = static_cast<int>(flags.get_int("procs"));
+  const RecurseOptions recurse = bench::recurse_from_flags(flags);
+
+  bench::print_banner("AtA-D load-balance parameter sweep", "§4.1.2 (alpha = 1/2 claim)");
+
+  const auto a = random_uniform<double>(n, n, 1100);
+
+  Table table("alpha sweep, n = " + std::to_string(n) + ", P = " + std::to_string(procs));
+  table.set_header({"alpha", "max leaf Mflop", "balance (max/avg)", "time (s)", "words"});
+
+  for (double alpha : {0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875}) {
+    const auto tree = sched::build_dist_tree(n, n, procs, alpha);
+    double max_leaf = 0, total = 0;
+    int leaves = 0;
+    for (const auto& node : tree.nodes) {
+      if (node.kind != sched::DistNode::Kind::kLeaf) continue;
+      double w = 0;
+      for (const auto& op : node.ops) w += op.flops();
+      max_leaf = std::max(max_leaf, w);
+      total += w;
+      ++leaves;
+    }
+    dist::DistOptions opts;
+    opts.procs = procs;
+    opts.alpha = alpha;
+    opts.recurse = recurse;
+    const auto res = dist::ata_dist(1.0, a, opts);
+    table.add_row({Table::num(alpha, 3), Table::num(max_leaf / 1e6, 2),
+                   Table::num(max_leaf / (total / leaves), 3), Table::num(res.seconds),
+                   std::to_string(res.traffic.total_words())});
+  }
+  table.print();
+  std::printf("shape check: the balance column (max/avg per-process work, 1.0 = perfect)\n"
+              "should be best near alpha = 0.5, the paper's choice.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#pragma once
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary regenerates one table or figure of the paper (see
+// DESIGN.md §4). Sizes are scaled down from the paper's cluster runs via
+// --scale so a laptop-class machine finishes in seconds; pass --scale 4 or
+// more to push toward the asymptotic regime on bigger hardware.
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "matrix/generate.hpp"
+#include "strassen/options.hpp"
+
+namespace atalib::bench {
+
+/// Standard flags shared by every bench binary.
+inline void add_common_flags(CliFlags& flags) {
+  flags.add_double("scale", 1.0, "size multiplier vs the built-in laptop defaults");
+  flags.add_int("reps", 2, "timing repetitions (min is reported)");
+  flags.add_int("base-elements", 0, "AtA/Strassen base-case threshold (0 = probe cache)");
+}
+
+inline RecurseOptions recurse_from_flags(const CliFlags& flags) {
+  RecurseOptions opts;
+  opts.base_case_elements = flags.get_int("base-elements");
+  return opts;
+}
+
+/// Scale a base size, keeping it even-ish for prettier splits.
+inline index_t scaled(index_t base, double scale) {
+  auto v = static_cast<index_t>(static_cast<double>(base) * scale);
+  return std::max<index_t>(v, 16);
+}
+
+/// A labeled experiment header, mirrored in EXPERIMENTS.md.
+inline void print_banner(const std::string& what, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace atalib::bench

@@ -1,0 +1,60 @@
+// Figure 4 — sequential FastStrassen vs ?gemm: elapsed time (a) and
+// effective GFLOPs (b) over growing square size, double precision.
+//
+// Paper setup: Intel MKL dgemm as the cubic baseline. Here the baseline is
+// the same blocked gemm kernel Strassen bottoms out in. Expected shape:
+// crossover after which Strassen wins, margin growing with n. The
+// pre-allocation claim of §3.3 is quantified separately in
+// ablation_workspace.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "blas/gemm.hpp"
+#include "metrics/flops.hpp"
+#include "strassen/strassen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace atalib;
+
+  CliFlags flags;
+  bench::add_common_flags(flags);
+  if (!flags.parse(argc, argv)) return 1;
+  const double scale = flags.get_double("scale");
+  const int reps = static_cast<int>(flags.get_int("reps"));
+  const RecurseOptions recurse = bench::recurse_from_flags(flags);
+
+  bench::print_banner("Sequential FastStrassen vs blocked gemm (double, C += A^T B)",
+                      "Figure 4 (a) + (b)");
+
+  Table table("Fig. 4: time and effective GFLOPs vs matrix size (r = 2)");
+  table.set_header({"n", "Strassen (s)", "gemm (s)", "Strassen EG", "gemm EG", "gemm/Strassen"});
+
+  for (index_t base : {256, 384, 512, 768, 1024, 1280, 1536, 1792, 2048}) {
+    const index_t n = bench::scaled(base, scale);
+    const auto a = random_uniform<double>(n, n, 200 + n);
+    const auto b = random_uniform<double>(n, n, 300 + n);
+
+    auto c = Matrix<double>::zeros(n, n);
+    const double t_str = min_time_of(
+        [&] {
+          fill_view(c.view(), 0.0);
+          fast_strassen(1.0, a.const_view(), b.const_view(), c.view(), recurse);
+        },
+        reps);
+    const double t_gemm = min_time_of(
+        [&] {
+          fill_view(c.view(), 0.0);
+          blas::gemm_tn(1.0, a.const_view(), b.const_view(), c.view());
+        },
+        reps);
+
+    table.add_row({std::to_string(n), Table::num(t_str), Table::num(t_gemm),
+                   Table::num(metrics::effective_gflops(2.0, n, n, n, t_str), 2),
+                   Table::num(metrics::effective_gflops(2.0, n, n, n, t_gemm), 2),
+                   Table::num(t_gemm / t_str, 3)});
+  }
+  table.print();
+  std::printf("shape check: gemm/Strassen ratio should cross 1 and keep growing with n.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 6 — distributed comparison: AtA-D vs pdsyrk-like vs CAPS-like vs
+// COSMA-like over process count P on three shapes (two square, one tall):
+// elapsed time (left column), effective GFLOPs (center), % of peak (right).
+//
+// Paper setup: 10K^2, 20K^2, 60Kx5K on up to 64 single-core MPI ranks.
+// Here ranks are threads of the mpisim runtime sharing one core, so the
+// headline column per method is the critical path: the busiest rank's
+// measured compute time, which is what a real cluster's wall clock tracks
+// once communication is overlapped/absorbed (the paper's own observation
+// for growing n). Traffic columns carry the communication story exactly;
+// %-of-peak uses the measured single-core gemm peak.
+// CAPS, like the original, runs only on the square shapes.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dist/ata_dist.hpp"
+#include "dist/caps_like.hpp"
+#include "dist/cosma_like.hpp"
+#include "dist/summa_syrk.hpp"
+#include "metrics/flops.hpp"
+
+namespace {
+
+using namespace atalib;
+
+void run_shape(const char* label, index_t m, index_t n, bool square, double peak,
+               const RecurseOptions& recurse) {
+  const auto a = random_uniform<double>(m, n, 600);
+
+  Table table(std::string("Fig. 6 ") + label +
+              ": time (s) / effective GFLOPs / %peak per method");
+  table.set_header({"P", "AtA-D", "pdsyrk~", "COSMA~(AtB)", square ? "CAPS~(AB)" : "CAPS~(n/a)",
+                    "AtA-D EG", "AtA-D %pk", "AtA-D words"});
+
+  for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+    dist::DistOptions opts;
+    opts.procs = p;
+    opts.recurse = recurse;
+    const auto r_ata = dist::ata_dist(1.0, a, opts);
+    const auto r_summa = dist::summa_syrk(1.0, a, p);
+    const auto r_cosma = dist::cosma_like_gemm(1.0, a, a, p);
+
+    std::string caps_cell = "-";
+    if (square) {
+      const auto r_caps = dist::caps_like_mm(a, a, p);
+      caps_cell = Table::num(r_caps.critical_path_seconds(), 4);
+    }
+
+    const double crit = r_ata.critical_path_seconds();
+    const double eg = metrics::effective_gflops(1.0, m, n, n, crit);
+    table.add_row({std::to_string(p), Table::num(crit, 4),
+                   Table::num(r_summa.critical_path_seconds(), 4),
+                   Table::num(r_cosma.critical_path_seconds(), 4), caps_cell, Table::num(eg, 2),
+                   Table::num(metrics::percent_of_peak(eg, peak, p), 1),
+                   std::to_string(r_ata.traffic.total_words())});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  bench::add_common_flags(flags);
+  if (!flags.parse(argc, argv)) return 1;
+  const double scale = flags.get_double("scale");
+  const RecurseOptions recurse = bench::recurse_from_flags(flags);
+
+  bench::print_banner("Distributed AtA-D vs pdsyrk-like, COSMA-like, CAPS-like",
+                      "Figure 6 (a)-(i)");
+  const double peak = metrics::measure_peak_gflops();
+  std::printf("measured single-core gemm peak: %.2f GFLOPs (TPP denominator)\n", peak);
+
+  // Paper shapes 10K^2, 20K^2, 60Kx5K scaled ~1/16 by default.
+  run_shape("(a-c) square", bench::scaled(640, scale), bench::scaled(640, scale), true, peak,
+            recurse);
+  run_shape("(d-f) square larger", bench::scaled(896, scale), bench::scaled(896, scale), true,
+            peak, recurse);
+  run_shape("(g-i) tall", bench::scaled(1920, scale), bench::scaled(160, scale), false, peak,
+            recurse);
+
+  std::printf("shape check: AtA-D should track or beat the baselines on square shapes with a\n"
+              "stepwise (non-linear) improvement in P (eq. (5) plateaus), and lose ground on\n"
+              "the tall shape (paper §5.5: short rows hurt vectorization and BLAS-1 sums).\n");
+  return 0;
+}

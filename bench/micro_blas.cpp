@@ -1,0 +1,94 @@
+// Microbenchmarks for the leaf BLAS kernels (google-benchmark).
+//
+// Everything in the reproduction — AtA, Strassen, both parallel algorithms
+// and all baselines — bottoms out in these kernels, so their quality sets
+// the absolute GFLOPs of every figure. Run this to calibrate expectations
+// before reading the figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include "blas/gemm.hpp"
+#include "blas/level1.hpp"
+#include "blas/syrk.hpp"
+#include "matrix/generate.hpp"
+
+namespace {
+
+using namespace atalib;
+
+void BM_GemmTn(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto a = random_uniform<double>(n, n, 1);
+  const auto b = random_uniform<double>(n, n, 2);
+  auto c = Matrix<double>::zeros(n, n);
+  for (auto _ : state) {
+    blas::gemm_tn(1.0, a.const_view(), b.const_view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTn)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmNn(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto a = random_uniform<double>(n, n, 3);
+  const auto b = random_uniform<double>(n, n, 4);
+  auto c = Matrix<double>::zeros(n, n);
+  for (auto _ : state) {
+    blas::gemm_nn(1.0, a.const_view(), b.const_view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNn)->Arg(256);
+
+void BM_SyrkLn(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto a = random_uniform<double>(n, n, 5);
+  auto c = Matrix<double>::zeros(n, n);
+  for (auto _ : state) {
+    blas::syrk_ln(1.0, a.const_view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_SyrkLn)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SyrkFloat(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto a = random_uniform<float>(n, n, 6);
+  auto c = Matrix<float>::zeros(n, n);
+  for (auto _ : state) {
+    blas::syrk_ln(1.0f, a.const_view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_SyrkFloat)->Arg(256);
+
+void BM_BlockAdd(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto a = random_uniform<double>(n, n, 7);
+  const auto b = random_uniform<double>(n - 1, n - 1, 8);  // virtual padding path
+  auto dst = Matrix<double>::zeros(n, n);
+  for (auto _ : state) {
+    blas::block_add(a.const_view(), b.const_view(), dst.view());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_BlockAdd)->Arg(512)->Arg(1024);
+
+void BM_Axpy(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto x = random_uniform<double>(1, n, 9);
+  auto y = Matrix<double>::zeros(1, n);
+  for (auto _ : state) {
+    blas::axpy(n, 1.0001, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Axpy)->Arg(1 << 16);
+
+}  // namespace

@@ -1,0 +1,55 @@
+// Proposition 4.2 — measured AtA-D communication vs the closed-form
+// latency (message count) and bandwidth (word count) bounds.
+//
+// The mpisim runtime counts every message and word exactly, so this is a
+// direct check the paper could only support indirectly through timings:
+// root-process traffic should track L(n, P) = O(2[7(l-1)+5]) messages and
+// BW(n, P) <= 6(n/2)^2 + n(n+2)/2 + 7/6 n^2 (1 - 1/4^(l-2)) words.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dist/ata_dist.hpp"
+#include "metrics/models.hpp"
+#include "sched/levels.hpp"
+
+int main(int argc, char** argv) {
+  using namespace atalib;
+
+  CliFlags flags;
+  bench::add_common_flags(flags);
+  flags.add_int("n", 512, "square matrix size");
+  if (!flags.parse(argc, argv)) return 1;
+  const double scale = flags.get_double("scale");
+  const index_t n = bench::scaled(flags.get_int("n"), scale);
+  const RecurseOptions recurse = bench::recurse_from_flags(flags);
+
+  bench::print_banner("AtA-D traffic vs Prop. 4.2 closed forms", "Proposition 4.2");
+
+  const auto a = random_uniform<double>(n, n, 1200);
+
+  Table table("Root-process traffic, n = " + std::to_string(n));
+  table.set_header({"P", "l(P)", "root msgs", "L model", "msgs/model", "root words", "BW model",
+                    "words/model"});
+
+  for (int p : {2, 4, 8, 16, 24, 32, 48, 64}) {
+    dist::DistOptions opts;
+    opts.procs = p;
+    opts.recurse = recurse;
+    const auto res = dist::ata_dist(1.0, a, opts);
+    const double l_model = metrics::dist_latency_model(p);
+    const double bw_model = metrics::dist_bandwidth_model(static_cast<double>(n), p);
+    const double msgs = static_cast<double>(res.traffic.root_messages());
+    const double words = static_cast<double>(res.traffic.root_words());
+    table.add_row({std::to_string(p), std::to_string(sched::paper_levels_dist(p)),
+                   Table::num(msgs, 0), Table::num(l_model, 0), Table::num(msgs / l_model, 2),
+                   Table::num(words, 0), Table::num(bw_model, 0),
+                   Table::num(words / bw_model, 2)});
+  }
+  table.print();
+  std::printf("shape check: both ratio columns should stay O(1) across P — the measured\n"
+              "traffic tracks the closed forms up to per-block vs per-level message\n"
+              "granularity. Words do not shrink with P: bandwidth is dominated by the\n"
+              "first-level matrix halves regardless of process count, as in Prop. 4.2.\n");
+  return 0;
+}

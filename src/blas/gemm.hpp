@@ -1,0 +1,47 @@
+#pragma once
+// Cache-blocked general matrix multiply on strided views.
+//
+// This is the self-built substitute for MKL ?gemm (see DESIGN.md): a
+// BLIS-style three-level blocking (NC / KC / MC) with packed panels and an
+// MR x NR register microkernel that GCC auto-vectorizes. It is the *leaf*
+// kernel under AtA / Strassen and the cubic *baseline* they are compared
+// against, so both sides of every experiment run on the same kernel.
+
+#include "matrix/view.hpp"
+
+namespace atalib::blas {
+
+/// Operand transposition selector (C += alpha * op(A) * op(B)).
+enum class Op { kNone, kTrans };
+
+/// C += alpha * op(A) * op(B). Shapes: op(A) is MxK, op(B) is KxN,
+/// C is MxN. Accumulating semantics (beta == 1); scale C beforehand for
+/// other betas, as the paper does.
+template <typename T>
+void gemm(Op opa, Op opb, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c);
+
+/// C += alpha * A^T * B (the paper's ?gemm use: A is m x n, B is m x k,
+/// C is n x k).
+template <typename T>
+void gemm_tn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c) {
+  gemm(Op::kTrans, Op::kNone, alpha, a, b, c);
+}
+
+/// C += alpha * A * B.
+template <typename T>
+void gemm_nn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c) {
+  gemm(Op::kNone, Op::kNone, alpha, a, b, c);
+}
+
+/// C += alpha * A * B^T.
+template <typename T>
+void gemm_nt(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c) {
+  gemm(Op::kNone, Op::kTrans, alpha, a, b, c);
+}
+
+extern template void gemm<float>(Op, Op, float, ConstMatrixView<float>, ConstMatrixView<float>,
+                                 MatrixView<float>);
+extern template void gemm<double>(Op, Op, double, ConstMatrixView<double>,
+                                  ConstMatrixView<double>, MatrixView<double>);
+
+}  // namespace atalib::blas

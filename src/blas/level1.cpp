@@ -1,0 +1,121 @@
+#include "blas/level1.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace atalib::blas {
+
+template <typename T>
+void axpy(index_t n, T alpha, const T* x, T* y) {
+  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+template <typename T>
+void view_axpy(T alpha, ConstMatrixView<T> x, MatrixView<T> y) {
+  assert(x.rows <= y.rows && x.cols <= y.cols);
+  assert(y.rows - x.rows <= 1 && y.cols - x.cols <= 1);
+  for (index_t i = 0; i < x.rows; ++i) {
+    axpy(x.cols, alpha, x.data + i * x.stride, y.data + i * y.stride);
+  }
+}
+
+namespace {
+
+// Shared skeleton for dst = a OP b with virtual zero padding. The hot path
+// (both operands full extent) runs a fused row loop; the ragged last
+// row/column is handled separately so the inner loop stays branch-free.
+template <typename T, typename Op>
+void block_combine(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> dst, Op op) {
+  assert(a.rows <= dst.rows && a.cols <= dst.cols);
+  assert(b.rows <= dst.rows && b.cols <= dst.cols);
+  assert(dst.rows - a.rows <= 1 && dst.cols - a.cols <= 1);
+  assert(dst.rows - b.rows <= 1 && dst.cols - b.cols <= 1);
+
+  const index_t common_rows = std::min(a.rows, b.rows);
+  const index_t common_cols = std::min(a.cols, b.cols);
+
+  for (index_t i = 0; i < common_rows; ++i) {
+    const T* pa = a.data + i * a.stride;
+    const T* pb = b.data + i * b.stride;
+    T* pd = dst.data + i * dst.stride;
+    for (index_t j = 0; j < common_cols; ++j) pd[j] = op(pa[j], pb[j]);
+    // Columns where exactly one operand exists.
+    for (index_t j = common_cols; j < a.cols; ++j) pd[j] = op(pa[j], T(0));
+    for (index_t j = common_cols; j < b.cols; ++j) pd[j] = op(T(0), pb[j]);
+    for (index_t j = std::max(a.cols, b.cols); j < dst.cols; ++j) pd[j] = T(0);
+  }
+  // Rows where exactly one operand exists.
+  for (index_t i = common_rows; i < a.rows; ++i) {
+    const T* pa = a.data + i * a.stride;
+    T* pd = dst.data + i * dst.stride;
+    for (index_t j = 0; j < a.cols; ++j) pd[j] = op(pa[j], T(0));
+    for (index_t j = a.cols; j < dst.cols; ++j) pd[j] = T(0);
+  }
+  for (index_t i = common_rows; i < b.rows; ++i) {
+    const T* pb = b.data + i * b.stride;
+    T* pd = dst.data + i * dst.stride;
+    for (index_t j = 0; j < b.cols; ++j) pd[j] = op(T(0), pb[j]);
+    for (index_t j = b.cols; j < dst.cols; ++j) pd[j] = T(0);
+  }
+  // Rows beyond both operands are pure padding.
+  for (index_t i = std::max(a.rows, b.rows); i < dst.rows; ++i) {
+    T* pd = dst.data + i * dst.stride;
+    for (index_t j = 0; j < dst.cols; ++j) pd[j] = T(0);
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void block_add(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> dst) {
+  block_combine(a, b, dst, [](T x, T y) { return x + y; });
+}
+
+template <typename T>
+void block_sub(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> dst) {
+  block_combine(a, b, dst, [](T x, T y) { return x - y; });
+}
+
+template <typename T>
+void block_copy(ConstMatrixView<T> a, MatrixView<T> dst) {
+  assert(a.rows <= dst.rows && a.cols <= dst.cols);
+  for (index_t i = 0; i < a.rows; ++i) {
+    const T* pa = a.data + i * a.stride;
+    T* pd = dst.data + i * dst.stride;
+    for (index_t j = 0; j < a.cols; ++j) pd[j] = pa[j];
+    for (index_t j = a.cols; j < dst.cols; ++j) pd[j] = T(0);
+  }
+  for (index_t i = a.rows; i < dst.rows; ++i) {
+    T* pd = dst.data + i * dst.stride;
+    for (index_t j = 0; j < dst.cols; ++j) pd[j] = T(0);
+  }
+}
+
+template <typename T>
+void scal(T alpha, MatrixView<T> x) {
+  for (index_t i = 0; i < x.rows; ++i) {
+    T* p = x.data + i * x.stride;
+    for (index_t j = 0; j < x.cols; ++j) p[j] *= alpha;
+  }
+}
+
+template <typename T>
+T dot(index_t n, const T* x, const T* y) {
+  T acc = T(0);
+  for (index_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+#define ATALIB_L1_INST(T)                                                             \
+  template void axpy<T>(index_t, T, const T*, T*);                                   \
+  template void view_axpy<T>(T, ConstMatrixView<T>, MatrixView<T>);                  \
+  template void block_add<T>(ConstMatrixView<T>, ConstMatrixView<T>, MatrixView<T>); \
+  template void block_sub<T>(ConstMatrixView<T>, ConstMatrixView<T>, MatrixView<T>); \
+  template void block_copy<T>(ConstMatrixView<T>, MatrixView<T>);                    \
+  template void scal<T>(T, MatrixView<T>);                                           \
+  template T dot<T>(index_t, const T*, const T*)
+ATALIB_L1_INST(float);
+ATALIB_L1_INST(double);
+#undef ATALIB_L1_INST
+
+}  // namespace atalib::blas

@@ -1,0 +1,62 @@
+#pragma once
+// Level-1 style kernels on views, including the paper's "virtual padding"
+// block sums.
+//
+// Strassen on odd-sized blocks needs sums between rectangles whose shapes
+// differ by at most one row and/or one column (the floor-half block is the
+// ceil-half block minus its last row/column). The paper handles this by
+// "conveniently applying ?axpy ... so that it simulates padding of an extra
+// 0 column or row". block_add / block_sub below are exactly that: the
+// destination has the union extent and operand cells outside their own
+// extent read as zero. No physical padding, no peeling.
+
+#include "matrix/view.hpp"
+
+namespace atalib::blas {
+
+/// y += alpha * x over contiguous arrays (classic ?axpy).
+template <typename T>
+void axpy(index_t n, T alpha, const T* x, T* y);
+
+/// Y += alpha * X where X may be up to one row and one column smaller than
+/// Y; missing X cells are treated as zero (i.e. they leave Y unchanged).
+template <typename T>
+void view_axpy(T alpha, ConstMatrixView<T> x, MatrixView<T> y);
+
+/// dst = a + b, where a and b may each be up to one row/column smaller than
+/// dst; missing cells read as zero.
+template <typename T>
+void block_add(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> dst);
+
+/// dst = a - b with the same virtual-padding convention.
+template <typename T>
+void block_sub(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> dst);
+
+/// dst = a (copy with virtual padding: cells of dst outside a's extent are
+/// zeroed).
+template <typename T>
+void block_copy(ConstMatrixView<T> a, MatrixView<T> dst);
+
+/// x *= alpha elementwise over a view.
+template <typename T>
+void scal(T alpha, MatrixView<T> x);
+
+/// Dot product of two contiguous arrays.
+template <typename T>
+T dot(index_t n, const T* x, const T* y);
+
+#define ATALIB_L1_EXTERN(T)                                                              \
+  extern template void axpy<T>(index_t, T, const T*, T*);                               \
+  extern template void view_axpy<T>(T, ConstMatrixView<T>, MatrixView<T>);              \
+  extern template void block_add<T>(ConstMatrixView<T>, ConstMatrixView<T>,             \
+                                    MatrixView<T>);                                     \
+  extern template void block_sub<T>(ConstMatrixView<T>, ConstMatrixView<T>,             \
+                                    MatrixView<T>);                                     \
+  extern template void block_copy<T>(ConstMatrixView<T>, MatrixView<T>);                \
+  extern template void scal<T>(T, MatrixView<T>);                                       \
+  extern template T dot<T>(index_t, const T*, const T*)
+ATALIB_L1_EXTERN(float);
+ATALIB_L1_EXTERN(double);
+#undef ATALIB_L1_EXTERN
+
+}  // namespace atalib::blas

@@ -1,0 +1,30 @@
+#pragma once
+// OpenMP-parallel gemm / syrk.
+//
+// Substitute for multi-threaded MKL (the Fig. 5 baseline). Parallelization
+// is over disjoint output stripes — each thread runs the serial blocked
+// kernel on its own C region, so no synchronization is needed beyond the
+// implicit barrier, mirroring how AtA-S parallelizes its own work.
+
+#include "matrix/view.hpp"
+
+namespace atalib::blas::par {
+
+/// C += alpha * A^T B using `threads` threads (column stripes of C).
+template <typename T>
+void gemm_tn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c, int threads);
+
+/// lower(C) += alpha * A^T A using `threads` threads. Row stripes of C are
+/// sized so each thread owns an equal *area* of the lower triangle
+/// (boundaries at n * sqrt(k / P)).
+template <typename T>
+void syrk_ln(T alpha, ConstMatrixView<T> a, MatrixView<T> c, int threads);
+
+extern template void gemm_tn<float>(float, ConstMatrixView<float>, ConstMatrixView<float>,
+                                    MatrixView<float>, int);
+extern template void gemm_tn<double>(double, ConstMatrixView<double>, ConstMatrixView<double>,
+                                     MatrixView<double>, int);
+extern template void syrk_ln<float>(float, ConstMatrixView<float>, MatrixView<float>, int);
+extern template void syrk_ln<double>(double, ConstMatrixView<double>, MatrixView<double>, int);
+
+}  // namespace atalib::blas::par

@@ -1,0 +1,59 @@
+#include "blas/syrk.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "blas/gemm.hpp"
+#include "common/aligned_buffer.hpp"
+#include "matrix/matrix.hpp"
+
+namespace atalib::blas {
+namespace {
+
+// Column-block width. Off-diagonal C blocks are full rectangles handled by
+// gemm; diagonal blocks go through a temporary so gemm's rectangular
+// microkernel can be reused without writing the upper triangle.
+constexpr index_t kNB = 128;
+
+template <typename T>
+AlignedBuffer<T>& diag_scratch() {
+  thread_local AlignedBuffer<T> buf;
+  if (buf.size() < static_cast<std::size_t>(kNB * kNB)) {
+    buf = AlignedBuffer<T>(static_cast<std::size_t>(kNB * kNB));
+  }
+  return buf;
+}
+
+}  // namespace
+
+template <typename T>
+void syrk_ln(T alpha, ConstMatrixView<T> a, MatrixView<T> c) {
+  const index_t m = a.rows, n = a.cols;
+  assert(c.rows == n && c.cols == n);
+  if (n == 0 || m == 0 || alpha == T(0)) return;
+
+  for (index_t j = 0; j < n; j += kNB) {
+    const index_t nb = std::min(kNB, n - j);
+    // Rectangular part below the diagonal block: rows (j+nb)..n of this
+    // column panel, C[i, j:j+nb] = A[:, i]^T A[:, j:j+nb].
+    if (j + nb < n) {
+      gemm_tn(alpha, a.block(0, j + nb, m, n - j - nb), a.block(0, j, m, nb),
+              c.block(j + nb, j, n - j - nb, nb));
+    }
+    // Diagonal block through scratch (gemm writes the full square).
+    auto& scratch = diag_scratch<T>();
+    MatrixView<T> t(scratch.data(), nb, nb, nb);
+    fill_view(t, T(0));
+    gemm_tn(T(1), a.block(0, j, m, nb), a.block(0, j, m, nb), t);
+    for (index_t i = 0; i < nb; ++i) {
+      T* dst = c.data + (j + i) * c.stride + j;
+      const T* src = t.data + i * nb;
+      for (index_t jj = 0; jj <= i; ++jj) dst[jj] += alpha * src[jj];
+    }
+  }
+}
+
+template void syrk_ln<float>(float, ConstMatrixView<float>, MatrixView<float>);
+template void syrk_ln<double>(double, ConstMatrixView<double>, MatrixView<double>);
+
+}  // namespace atalib::blas

@@ -1,0 +1,20 @@
+#pragma once
+// Symmetric rank-K update: lower(C) += alpha * A^T A.
+//
+// Self-built substitute for MKL ?syrk (the paper's baseline in Figs. 3 and 5
+// and AtA's base-case kernel). Only the lower triangle of C is touched,
+// matching the BLAS 'L' uplo convention and AtA's output contract.
+
+#include "matrix/view.hpp"
+
+namespace atalib::blas {
+
+/// lower(C) += alpha * A^T A. A is m x n, C is n x n; the strict upper
+/// triangle of C is never read or written.
+template <typename T>
+void syrk_ln(T alpha, ConstMatrixView<T> a, MatrixView<T> c);
+
+extern template void syrk_ln<float>(float, ConstMatrixView<float>, MatrixView<float>);
+extern template void syrk_ln<double>(double, ConstMatrixView<double>, MatrixView<double>);
+
+}  // namespace atalib::blas

@@ -1,0 +1,69 @@
+#pragma once
+// Cache-line / SIMD aligned heap buffer.
+//
+// Matrix payloads and Strassen workspaces live in AlignedBuffer so that the
+// packed gemm microkernels can assume 64-byte alignment of the first element
+// of each buffer (rows inside a strided view are *not* individually aligned;
+// the kernels do not require that).
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace atalib {
+
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Owning, 64-byte aligned, uninitialized T[] buffer. Move-only.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) : size_(count) {
+    if (count == 0) return;
+    const std::size_t bytes =
+        (count * sizeof(T) + kBufferAlignment - 1) / kBufferAlignment * kBufferAlignment;
+    data_ = static_cast<T*>(std::aligned_alloc(kBufferAlignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc{};
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace atalib

@@ -1,0 +1,8 @@
+#include "common/arena.hpp"
+
+namespace atalib {
+
+template class Arena<float>;
+template class Arena<double>;
+
+}  // namespace atalib

@@ -1,0 +1,80 @@
+#pragma once
+// Checkpointed bump-arena used as the Strassen workspace.
+//
+// The paper's FastStrassen pre-allocates three buffers (M, P, Q) sized for
+// the whole recursion and hands prefixes of them to each recursive level.
+// A checkpointed bump arena is the same idea with one buffer: a level takes
+// a checkpoint, bump-allocates its temporaries, and restores the checkpoint
+// on unwind, so the deepest recursion path determines the footprint and no
+// malloc/free happens inside the recursion.
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "common/aligned_buffer.hpp"
+
+namespace atalib {
+
+/// Bump allocator over a single aligned double-precision-sized slab.
+/// Allocation is O(1); freeing happens only via checkpoints (LIFO).
+template <typename T>
+class Arena {
+ public:
+  Arena() = default;
+  /// Construct with capacity for `count` elements of T.
+  explicit Arena(std::size_t count) : slab_(count) {}
+
+  /// Total capacity in elements.
+  std::size_t capacity() const noexcept { return slab_.size(); }
+  /// Elements currently allocated.
+  std::size_t used() const noexcept { return top_; }
+  /// High-water mark over the arena's lifetime (for tests/ablations).
+  std::size_t high_water() const noexcept { return high_water_; }
+
+  /// Allocate `count` elements. The returned memory is uninitialized.
+  /// Throws std::length_error if the arena is exhausted: the workspace
+  /// bound computation is wrong in that case, and silently growing would
+  /// hide the bug.
+  T* allocate(std::size_t count) {
+    if (top_ + count > slab_.size()) {
+      throw std::length_error("Arena exhausted: workspace bound violated");
+    }
+    T* p = slab_.data() + top_;
+    top_ += count;
+    if (top_ > high_water_) high_water_ = top_;
+    return p;
+  }
+
+  /// LIFO checkpoint token.
+  struct Checkpoint {
+    std::size_t top;
+  };
+
+  Checkpoint checkpoint() const noexcept { return Checkpoint{top_}; }
+
+  /// Roll back to `cp`, releasing everything allocated after it.
+  void restore(Checkpoint cp) noexcept { top_ = cp.top; }
+
+  /// RAII helper: restores the checkpoint taken at construction.
+  class Scope {
+   public:
+    explicit Scope(Arena& arena) : arena_(arena), cp_(arena.checkpoint()) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { arena_.restore(cp_); }
+
+   private:
+    Arena& arena_;
+    Checkpoint cp_;
+  };
+
+ private:
+  AlignedBuffer<T> slab_;
+  std::size_t top_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+extern template class Arena<float>;
+extern template class Arena<double>;
+
+}  // namespace atalib

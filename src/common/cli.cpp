@@ -1,0 +1,108 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace atalib {
+
+void CliFlags::add_int(const std::string& name, std::int64_t def, const std::string& help) {
+  flags_[name] = Flag{Kind::kInt, std::to_string(def), help};
+  order_.push_back(name);
+}
+
+void CliFlags::add_double(const std::string& name, double def, const std::string& help) {
+  std::ostringstream os;
+  os << def;
+  flags_[name] = Flag{Kind::kDouble, os.str(), help};
+  order_.push_back(name);
+}
+
+void CliFlags::add_bool(const std::string& name, bool def, const std::string& help) {
+  flags_[name] = Flag{Kind::kBool, def ? "true" : "false", help};
+  order_.push_back(name);
+}
+
+void CliFlags::add_string(const std::string& name, const std::string& def,
+                          const std::string& help) {
+  flags_[name] = Flag{Kind::kString, def, help};
+  order_.push_back(name);
+}
+
+bool CliFlags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n", arg.c_str());
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      have_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(), usage(argv[0]).c_str());
+      return false;
+    }
+    Flag& flag = it->second;
+    if (!have_value) {
+      if (flag.kind == Kind::kBool) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+    }
+    flag.value = value;
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::require(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.kind != kind) {
+    throw std::logic_error("flag not registered with this type: --" + name);
+  }
+  return it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  return std::stoll(require(name, Kind::kInt).value);
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return std::stod(require(name, Kind::kDouble).value);
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  const std::string& v = require(name, Kind::kBool).value;
+  return v == "true" || v == "1" || v == "yes";
+}
+
+const std::string& CliFlags::get_string(const std::string& name) const {
+  return require(name, Kind::kString).value;
+}
+
+std::string CliFlags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name << " (default: " << f.value << ")  " << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace atalib

@@ -1,0 +1,49 @@
+#pragma once
+// Minimal command-line flag parser for benches and examples.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name`. Unknown
+// flags are an error so typos in experiment scripts fail loudly rather than
+// silently running the default configuration.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace atalib {
+
+/// Declarative flag set. Register flags, then parse(argc, argv).
+class CliFlags {
+ public:
+  /// Register a flag with a default value and a help string.
+  void add_int(const std::string& name, std::int64_t def, const std::string& help);
+  void add_double(const std::string& name, double def, const std::string& help);
+  void add_bool(const std::string& name, bool def, const std::string& help);
+  void add_string(const std::string& name, const std::string& def, const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) on --help or error.
+  bool parse(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// Render usage text.
+  std::string usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    std::string value;  // textual representation
+    std::string help;
+  };
+
+  const Flag& require(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;  // registration order, for usage()
+};
+
+}  // namespace atalib

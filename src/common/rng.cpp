@@ -1,0 +1,82 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace atalib {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: expands a single seed into full xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform01() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Xoshiro256::gaussian() noexcept {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * mul;
+  have_spare_ = true;
+  return u * mul;
+}
+
+std::uint64_t Xoshiro256::bounded(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace atalib

@@ -1,0 +1,40 @@
+#pragma once
+// ASCII table / series renderer for the benchmark harness.
+//
+// Every bench binary reproduces one table or figure from the paper; the
+// harness prints figures as aligned column series (one row per x value, one
+// column per curve) so the output diff-compares cleanly across runs and can
+// be pasted into a plotting tool.
+
+#include <string>
+#include <vector>
+
+namespace atalib {
+
+/// Column-aligned ASCII table with a title and column headers.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Render to a string (title, rule, header, rule, rows, rule).
+  std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace atalib

@@ -1,0 +1,70 @@
+#include "matrix/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace atalib {
+
+template <typename T>
+double max_abs_diff(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+  assert(a.rows == b.rows && a.cols == b.cols);
+  double worst = 0.0;
+  for (index_t i = 0; i < a.rows; ++i)
+    for (index_t j = 0; j < a.cols; ++j)
+      worst = std::max(worst, std::abs(static_cast<double>(a(i, j)) - b(i, j)));
+  return worst;
+}
+
+template <typename T>
+double max_abs_diff_lower(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+  assert(a.rows == b.rows && a.cols == b.cols);
+  double worst = 0.0;
+  for (index_t i = 0; i < a.rows; ++i)
+    for (index_t j = 0; j <= i && j < a.cols; ++j)
+      worst = std::max(worst, std::abs(static_cast<double>(a(i, j)) - b(i, j)));
+  return worst;
+}
+
+template <typename T>
+double frobenius_norm(ConstMatrixView<T> a) {
+  double acc = 0.0;
+  for (index_t i = 0; i < a.rows; ++i)
+    for (index_t j = 0; j < a.cols; ++j) {
+      const double v = a(i, j);
+      acc += v * v;
+    }
+  return std::sqrt(acc);
+}
+
+template <typename T>
+double relative_error(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+  assert(a.rows == b.rows && a.cols == b.cols);
+  double num = 0.0;
+  for (index_t i = 0; i < a.rows; ++i)
+    for (index_t j = 0; j < a.cols; ++j) {
+      const double d = static_cast<double>(a(i, j)) - b(i, j);
+      num += d * d;
+    }
+  const double den = frobenius_norm(b);
+  return std::sqrt(num) / std::max(den, 1e-30);
+}
+
+template <typename T>
+double mm_tolerance(index_t inner_dim, double slack) {
+  return static_cast<double>(std::numeric_limits<T>::epsilon()) *
+         static_cast<double>(std::max<index_t>(inner_dim, 1)) * slack;
+}
+
+template double max_abs_diff<float>(ConstMatrixView<float>, ConstMatrixView<float>);
+template double max_abs_diff<double>(ConstMatrixView<double>, ConstMatrixView<double>);
+template double max_abs_diff_lower<float>(ConstMatrixView<float>, ConstMatrixView<float>);
+template double max_abs_diff_lower<double>(ConstMatrixView<double>, ConstMatrixView<double>);
+template double frobenius_norm<float>(ConstMatrixView<float>);
+template double frobenius_norm<double>(ConstMatrixView<double>);
+template double relative_error<float>(ConstMatrixView<float>, ConstMatrixView<float>);
+template double relative_error<double>(ConstMatrixView<double>, ConstMatrixView<double>);
+template double mm_tolerance<float>(index_t, double);
+template double mm_tolerance<double>(index_t, double);
+
+}  // namespace atalib

@@ -1,0 +1,41 @@
+#pragma once
+// Numeric comparison helpers used by tests and the verification harness.
+
+#include "matrix/view.hpp"
+
+namespace atalib {
+
+/// max_{i,j} |a(i,j) - b(i,j)| over the full rectangle.
+template <typename T>
+double max_abs_diff(ConstMatrixView<T> a, ConstMatrixView<T> b);
+
+/// max over the lower triangle only (AtA writes only lower(C)).
+template <typename T>
+double max_abs_diff_lower(ConstMatrixView<T> a, ConstMatrixView<T> b);
+
+/// Frobenius norm.
+template <typename T>
+double frobenius_norm(ConstMatrixView<T> a);
+
+/// Relative error ||a - b||_F / max(||b||_F, eps).
+template <typename T>
+double relative_error(ConstMatrixView<T> a, ConstMatrixView<T> b);
+
+/// Tolerance scaled to the problem: Strassen loses ~O(log n) digits vs the
+/// cubic reference; this returns eps(T) * inner_dim * slack.
+template <typename T>
+double mm_tolerance(index_t inner_dim, double slack = 64.0);
+
+extern template double max_abs_diff<float>(ConstMatrixView<float>, ConstMatrixView<float>);
+extern template double max_abs_diff<double>(ConstMatrixView<double>, ConstMatrixView<double>);
+extern template double max_abs_diff_lower<float>(ConstMatrixView<float>, ConstMatrixView<float>);
+extern template double max_abs_diff_lower<double>(ConstMatrixView<double>,
+                                                  ConstMatrixView<double>);
+extern template double frobenius_norm<float>(ConstMatrixView<float>);
+extern template double frobenius_norm<double>(ConstMatrixView<double>);
+extern template double relative_error<float>(ConstMatrixView<float>, ConstMatrixView<float>);
+extern template double relative_error<double>(ConstMatrixView<double>, ConstMatrixView<double>);
+extern template double mm_tolerance<float>(index_t, double);
+extern template double mm_tolerance<double>(index_t, double);
+
+}  // namespace atalib

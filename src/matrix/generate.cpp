@@ -1,0 +1,62 @@
+#include "matrix/generate.hpp"
+
+#include "common/rng.hpp"
+
+namespace atalib {
+
+template <typename T>
+Matrix<T> random_uniform(index_t rows, index_t cols, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Matrix<T> m(rows, cols);
+  T* p = m.data();
+  for (index_t i = 0; i < rows * cols; ++i) p[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+template <typename T>
+Matrix<T> random_gaussian(index_t rows, index_t cols, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Matrix<T> m(rows, cols);
+  T* p = m.data();
+  for (index_t i = 0; i < rows * cols; ++i) p[i] = static_cast<T>(rng.gaussian());
+  return m;
+}
+
+template <typename T>
+Matrix<T> random_spd(index_t n, std::uint64_t seed) {
+  const index_t k = n + 8;  // oversample: G^T G is a.s. positive definite
+  Matrix<T> g = random_gaussian<T>(k, n, seed);
+  Matrix<T> c = Matrix<T>::zeros(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      T acc = T(0);
+      for (index_t l = 0; l < k; ++l) acc += g(l, i) * g(l, j);
+      c(i, j) = acc;
+      c(j, i) = acc;
+    }
+  }
+  return c;
+}
+
+template <typename T>
+Matrix<T> random_integer(index_t rows, index_t cols, int range, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Matrix<T> m(rows, cols);
+  T* p = m.data();
+  const std::uint64_t span = static_cast<std::uint64_t>(2 * range + 1);
+  for (index_t i = 0; i < rows * cols; ++i) {
+    p[i] = static_cast<T>(static_cast<int>(rng.bounded(span)) - range);
+  }
+  return m;
+}
+
+template Matrix<float> random_uniform<float>(index_t, index_t, std::uint64_t);
+template Matrix<double> random_uniform<double>(index_t, index_t, std::uint64_t);
+template Matrix<float> random_gaussian<float>(index_t, index_t, std::uint64_t);
+template Matrix<double> random_gaussian<double>(index_t, index_t, std::uint64_t);
+template Matrix<float> random_spd<float>(index_t, std::uint64_t);
+template Matrix<double> random_spd<double>(index_t, std::uint64_t);
+template Matrix<float> random_integer<float>(index_t, index_t, int, std::uint64_t);
+template Matrix<double> random_integer<double>(index_t, index_t, int, std::uint64_t);
+
+}  // namespace atalib

@@ -1,0 +1,42 @@
+#pragma once
+// Synthetic workload generators.
+//
+// The paper evaluates on dense random matrices (square and tall). These
+// generators are deterministic in the seed so every experiment is exactly
+// re-runnable.
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+
+namespace atalib {
+
+/// m x n with i.i.d. uniform entries in [-1, 1).
+template <typename T>
+Matrix<T> random_uniform(index_t rows, index_t cols, std::uint64_t seed);
+
+/// m x n with i.i.d. standard normal entries.
+template <typename T>
+Matrix<T> random_gaussian(index_t rows, index_t cols, std::uint64_t seed);
+
+/// n x n symmetric positive semi-definite matrix, built as G^T G with
+/// G k x n Gaussian (k >= n gives almost-surely positive definite).
+template <typename T>
+Matrix<T> random_spd(index_t n, std::uint64_t seed);
+
+/// m x n integer-valued matrix with entries in {-range..range}; exact in
+/// floating point, used by property tests that compare algorithms bitwise
+/// against the cubic reference on small sizes.
+template <typename T>
+Matrix<T> random_integer(index_t rows, index_t cols, int range, std::uint64_t seed);
+
+extern template Matrix<float> random_uniform<float>(index_t, index_t, std::uint64_t);
+extern template Matrix<double> random_uniform<double>(index_t, index_t, std::uint64_t);
+extern template Matrix<float> random_gaussian<float>(index_t, index_t, std::uint64_t);
+extern template Matrix<double> random_gaussian<double>(index_t, index_t, std::uint64_t);
+extern template Matrix<float> random_spd<float>(index_t, std::uint64_t);
+extern template Matrix<double> random_spd<double>(index_t, std::uint64_t);
+extern template Matrix<float> random_integer<float>(index_t, index_t, int, std::uint64_t);
+extern template Matrix<double> random_integer<double>(index_t, index_t, int, std::uint64_t);
+
+}  // namespace atalib

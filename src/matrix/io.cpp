@@ -1,0 +1,41 @@
+#include "matrix/io.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace atalib {
+
+template <typename T>
+void print_matrix(std::ostream& os, ConstMatrixView<T> a, int precision, index_t max_rows,
+                  index_t max_cols) {
+  const index_t r = std::min(a.rows, max_rows);
+  const index_t c = std::min(a.cols, max_cols);
+  os << a.rows << " x " << a.cols << " matrix";
+  if (r < a.rows || c < a.cols) os << " (showing " << r << " x " << c << ")";
+  os << "\n";
+  for (index_t i = 0; i < r; ++i) {
+    os << "  [";
+    for (index_t j = 0; j < c; ++j) {
+      os << std::setw(precision + 7) << std::setprecision(precision) << std::fixed
+         << static_cast<double>(a(i, j));
+    }
+    if (c < a.cols) os << "  ...";
+    os << " ]\n";
+  }
+  if (r < a.rows) os << "  ...\n";
+}
+
+template <typename T>
+std::string to_string(ConstMatrixView<T> a, int precision) {
+  std::ostringstream os;
+  print_matrix(os, a, precision, a.rows, a.cols);
+  return os.str();
+}
+
+template void print_matrix<float>(std::ostream&, ConstMatrixView<float>, int, index_t, index_t);
+template void print_matrix<double>(std::ostream&, ConstMatrixView<double>, int, index_t, index_t);
+template std::string to_string<float>(ConstMatrixView<float>, int);
+template std::string to_string<double>(ConstMatrixView<double>, int);
+
+}  // namespace atalib

@@ -1,0 +1,27 @@
+#pragma once
+// Matrix text I/O (debugging, examples).
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/matrix.hpp"
+
+namespace atalib {
+
+/// Pretty-print (small matrices; intended for examples and debugging).
+template <typename T>
+void print_matrix(std::ostream& os, ConstMatrixView<T> a, int precision = 4,
+                  index_t max_rows = 12, index_t max_cols = 12);
+
+/// Render to string.
+template <typename T>
+std::string to_string(ConstMatrixView<T> a, int precision = 4);
+
+extern template void print_matrix<float>(std::ostream&, ConstMatrixView<float>, int, index_t,
+                                         index_t);
+extern template void print_matrix<double>(std::ostream&, ConstMatrixView<double>, int, index_t,
+                                          index_t);
+extern template std::string to_string<float>(ConstMatrixView<float>, int);
+extern template std::string to_string<double>(ConstMatrixView<double>, int);
+
+}  // namespace atalib

@@ -1,0 +1,8 @@
+#include "matrix/matrix.hpp"
+
+namespace atalib {
+
+template class Matrix<float>;
+template class Matrix<double>;
+
+}  // namespace atalib

@@ -1,0 +1,134 @@
+#pragma once
+// Owning dense row-major matrix.
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+
+#include "common/aligned_buffer.hpp"
+#include "matrix/view.hpp"
+
+namespace atalib {
+
+/// Dense m x n row-major matrix with 64-byte aligned storage. Move-only by
+/// default; deep copies are explicit via clone() so accidental O(n^2) copies
+/// cannot hide in pass-by-value.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Uninitialized m x n matrix.
+  Matrix(index_t rows, index_t cols)
+      : buf_(static_cast<std::size_t>(rows * cols)), rows_(rows), cols_(cols) {
+    if (rows < 0 || cols < 0) throw std::invalid_argument("negative matrix dimension");
+  }
+
+  /// Zero-initialized factory.
+  static Matrix zeros(index_t rows, index_t cols) {
+    Matrix m(rows, cols);
+    for (index_t i = 0; i < rows * cols; ++i) m.buf_[static_cast<std::size_t>(i)] = T(0);
+    return m;
+  }
+
+  /// Identity factory (square).
+  static Matrix identity(index_t n) {
+    Matrix m = zeros(n, n);
+    for (index_t i = 0; i < n; ++i) m(i, i) = T(1);
+    return m;
+  }
+
+  /// Row-major brace construction for small literals in tests.
+  Matrix(std::initializer_list<std::initializer_list<T>> init)
+      : Matrix(static_cast<index_t>(init.size()),
+               init.size() ? static_cast<index_t>(init.begin()->size()) : 0) {
+    index_t i = 0;
+    for (const auto& row : init) {
+      if (static_cast<index_t>(row.size()) != cols_) {
+        throw std::invalid_argument("ragged initializer list");
+      }
+      index_t j = 0;
+      for (const T& v : row) (*this)(i, j++) = v;
+      ++i;
+    }
+  }
+
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+  Matrix(const Matrix&) = delete;
+  Matrix& operator=(const Matrix&) = delete;
+
+  /// Explicit deep copy.
+  Matrix clone() const {
+    Matrix m(rows_, cols_);
+    for (index_t i = 0; i < rows_ * cols_; ++i)
+      m.buf_[static_cast<std::size_t>(i)] = buf_[static_cast<std::size_t>(i)];
+    return m;
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t size() const { return rows_ * cols_; }
+
+  T* data() { return buf_.data(); }
+  const T* data() const { return buf_.data(); }
+
+  T& operator()(index_t i, index_t j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return buf_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return buf_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  /// Whole-matrix views (stride == cols).
+  MatrixView<T> view() { return MatrixView<T>(data(), rows_, cols_, cols_); }
+  ConstMatrixView<T> view() const { return ConstMatrixView<T>(data(), rows_, cols_, cols_); }
+  ConstMatrixView<T> const_view() const { return view(); }
+
+  /// Sub-block views.
+  MatrixView<T> block(index_t r0, index_t c0, index_t nr, index_t nc) {
+    return view().block(r0, c0, nr, nc);
+  }
+  ConstMatrixView<T> block(index_t r0, index_t c0, index_t nr, index_t nc) const {
+    return view().block(r0, c0, nr, nc);
+  }
+
+  void fill(T v) {
+    for (index_t i = 0; i < rows_ * cols_; ++i) buf_[static_cast<std::size_t>(i)] = v;
+  }
+
+  /// Out-of-place transpose.
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (index_t i = 0; i < rows_; ++i)
+      for (index_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    return t;
+  }
+
+ private:
+  AlignedBuffer<T> buf_;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+};
+
+extern template class Matrix<float>;
+extern template class Matrix<double>;
+
+/// Copy the contents of `src` into `dst` (shapes must match).
+template <typename T>
+void copy_into(ConstMatrixView<T> src, MatrixView<T> dst) {
+  assert(src.rows == dst.rows && src.cols == dst.cols);
+  for (index_t i = 0; i < src.rows; ++i)
+    for (index_t j = 0; j < src.cols; ++j) dst(i, j) = src(i, j);
+}
+
+/// Set every element of a view to `v`.
+template <typename T>
+void fill_view(MatrixView<T> dst, T v) {
+  for (index_t i = 0; i < dst.rows; ++i)
+    for (index_t j = 0; j < dst.cols; ++j) dst(i, j) = v;
+}
+
+}  // namespace atalib

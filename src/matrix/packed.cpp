@@ -1,0 +1,17 @@
+#include "matrix/packed.hpp"
+
+namespace atalib {
+
+template <typename T>
+void symmetrize_from_lower(MatrixView<T> c) {
+  assert(c.rows == c.cols);
+  for (index_t i = 0; i < c.rows; ++i)
+    for (index_t j = i + 1; j < c.cols; ++j) c(i, j) = c(j, i);
+}
+
+template class PackedLower<float>;
+template class PackedLower<double>;
+template void symmetrize_from_lower<float>(MatrixView<float>);
+template void symmetrize_from_lower<double>(MatrixView<double>);
+
+}  // namespace atalib

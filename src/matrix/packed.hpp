@@ -1,0 +1,83 @@
+#pragma once
+// Packed lower-triangular storage.
+//
+// AtA-D sends syrk-type partial results up the task tree as packed lower
+// triangles (n(n+1)/2 words instead of n^2), which is where the n(n+2)/2
+// term in the paper's bandwidth bound (Prop. 4.2) comes from.
+
+#include <vector>
+
+#include "matrix/matrix.hpp"
+#include "matrix/view.hpp"
+
+namespace atalib {
+
+/// Owning packed lower triangle of an n x n symmetric matrix,
+/// row-major packed: element (i, j), j <= i, lives at index i(i+1)/2 + j.
+template <typename T>
+class PackedLower {
+ public:
+  PackedLower() = default;
+  explicit PackedLower(index_t n) : n_(n), data_(static_cast<std::size_t>(packed_size(n))) {}
+
+  /// Number of stored words for dimension n.
+  static index_t packed_size(index_t n) { return n * (n + 1) / 2; }
+
+  index_t dim() const { return n_; }
+  index_t size() const { return static_cast<index_t>(data_.size()); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& at(index_t i, index_t j) {
+    assert(j <= i && i < n_);
+    return data_[static_cast<std::size_t>(i * (i + 1) / 2 + j)];
+  }
+  const T& at(index_t i, index_t j) const {
+    assert(j <= i && i < n_);
+    return data_[static_cast<std::size_t>(i * (i + 1) / 2 + j)];
+  }
+
+  /// Pack the lower triangle of `src` (n x n view).
+  static PackedLower pack(ConstMatrixView<T> src) {
+    assert(src.rows == src.cols);
+    PackedLower p(src.rows);
+    index_t k = 0;
+    for (index_t i = 0; i < src.rows; ++i)
+      for (index_t j = 0; j <= i; ++j) p.data_[static_cast<std::size_t>(k++)] = src(i, j);
+    return p;
+  }
+
+  /// Write the packed triangle into the lower triangle of `dst`; the strict
+  /// upper triangle of `dst` is left untouched.
+  void unpack_into(MatrixView<T> dst) const {
+    assert(dst.rows == n_ && dst.cols == n_);
+    index_t k = 0;
+    for (index_t i = 0; i < n_; ++i)
+      for (index_t j = 0; j <= i; ++j) dst(i, j) = data_[static_cast<std::size_t>(k++)];
+  }
+
+  /// Accumulate the packed triangle into the lower triangle of `dst`.
+  void add_into(MatrixView<T> dst) const {
+    assert(dst.rows == n_ && dst.cols == n_);
+    index_t k = 0;
+    for (index_t i = 0; i < n_; ++i)
+      for (index_t j = 0; j <= i; ++j) dst(i, j) += data_[static_cast<std::size_t>(k++)];
+  }
+
+ private:
+  index_t n_ = 0;
+  std::vector<T> data_;
+};
+
+/// Copy the (strictly) lower triangle into the upper one, producing a fully
+/// symmetric matrix. AtA computes only lower(C); callers that need the full
+/// matrix (e.g. downstream solvers) call this once at the end.
+template <typename T>
+void symmetrize_from_lower(MatrixView<T> c);
+
+extern template class PackedLower<float>;
+extern template class PackedLower<double>;
+extern template void symmetrize_from_lower<float>(MatrixView<float>);
+extern template void symmetrize_from_lower<double>(MatrixView<double>);
+
+}  // namespace atalib

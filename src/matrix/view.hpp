@@ -1,0 +1,82 @@
+#pragma once
+// Strided, non-owning matrix views.
+//
+// AtA and Strassen never copy sub-matrices of the input: every recursive
+// call receives a view (pointer + row stride) into the original storage,
+// which is what makes the recursion cache-oblivious and allocation-free
+// outside the explicit workspace. Views are row-major; `stride` is the
+// distance in elements between the starts of consecutive rows.
+
+#include <cassert>
+#include <cstddef>
+
+namespace atalib {
+
+using index_t = std::ptrdiff_t;
+
+/// Mutable view of an m x n row-major block with row stride `stride`.
+template <typename T>
+struct MatrixView {
+  T* data = nullptr;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t stride = 0;
+
+  MatrixView() = default;
+  MatrixView(T* data_, index_t rows_, index_t cols_, index_t stride_)
+      : data(data_), rows(rows_), cols(cols_), stride(stride_) {
+    assert(stride >= cols);
+  }
+
+  T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows && j >= 0 && j < cols);
+    return data[i * stride + j];
+  }
+
+  /// Sub-block [r0, r0+nr) x [c0, c0+nc); shares storage.
+  MatrixView block(index_t r0, index_t c0, index_t nr, index_t nc) const {
+    assert(r0 >= 0 && c0 >= 0 && r0 + nr <= rows && c0 + nc <= cols);
+    return MatrixView(data + r0 * stride + c0, nr, nc, stride);
+  }
+
+  index_t size() const { return rows * cols; }
+  bool empty() const { return rows == 0 || cols == 0; }
+};
+
+/// Read-only view. Constructible from MatrixView<T>.
+template <typename T>
+struct ConstMatrixView {
+  const T* data = nullptr;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t stride = 0;
+
+  ConstMatrixView() = default;
+  ConstMatrixView(const T* data_, index_t rows_, index_t cols_, index_t stride_)
+      : data(data_), rows(rows_), cols(cols_), stride(stride_) {
+    assert(stride >= cols);
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors T* -> const T*.
+  ConstMatrixView(const MatrixView<T>& v)
+      : data(v.data), rows(v.rows), cols(v.cols), stride(v.stride) {}
+
+  const T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows && j >= 0 && j < cols);
+    return data[i * stride + j];
+  }
+
+  ConstMatrixView block(index_t r0, index_t c0, index_t nr, index_t nc) const {
+    assert(r0 >= 0 && c0 >= 0 && r0 + nr <= rows && c0 + nc <= cols);
+    return ConstMatrixView(data + r0 * stride + c0, nr, nc, stride);
+  }
+
+  index_t size() const { return rows * cols; }
+  bool empty() const { return rows == 0 || cols == 0; }
+};
+
+/// Ceil/floor halves used by the 2x2 block split (eq. (1) of the paper):
+/// first part gets ceil(n/2), second gets floor(n/2).
+inline index_t half_up(index_t n) { return (n + 1) / 2; }
+inline index_t half_down(index_t n) { return n / 2; }
+
+}  // namespace atalib

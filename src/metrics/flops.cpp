@@ -1,0 +1,38 @@
+#include "metrics/flops.hpp"
+
+#include <algorithm>
+
+#include "blas/gemm.hpp"
+#include "common/timer.hpp"
+#include "matrix/generate.hpp"
+
+namespace atalib::metrics {
+
+double effective_gflops(double r, index_t m, index_t n, index_t k, double seconds) {
+  if (seconds <= 0) return 0.0;
+  return r * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k) /
+         (seconds * 1e9);
+}
+
+double measure_peak_gflops() {
+  // 256^3 double gemm: operands fit in L2, so this measures the microkernel
+  // rather than memory. 2*n^3 flops per run.
+  const index_t n = 256;
+  auto a = random_uniform<double>(n, n, 42);
+  auto b = random_uniform<double>(n, n, 43);
+  auto c = Matrix<double>::zeros(n, n);
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer t;
+    blas::gemm_tn(1.0, a.const_view(), b.const_view(), c.view());
+    best = std::max(best, 2.0 * static_cast<double>(n) * n * n / (t.seconds() * 1e9));
+  }
+  return best;
+}
+
+double percent_of_peak(double eff_gflops, double peak_gflops, int procs) {
+  if (peak_gflops <= 0 || procs <= 0) return 0.0;
+  return 100.0 * eff_gflops / (peak_gflops * procs);
+}
+
+}  // namespace atalib::metrics

@@ -1,0 +1,23 @@
+#pragma once
+// Performance metrics: effective GFLOPs (eq. (9)) and theoretical peak.
+
+#include "matrix/view.hpp"
+
+namespace atalib::metrics {
+
+/// eq. (9): effective GFLOPs = r * n^3 / (t * 1e9), generalized to
+/// rectangular shapes as r * m*n*k (for A^T A set k = n, so a square input
+/// reproduces r * n^3 exactly). r = 1 for A^T A-specific algorithms,
+/// r = 2 for general matrix multiplication.
+double effective_gflops(double r, index_t m, index_t n, index_t k, double seconds);
+
+/// Measure this machine's attainable per-core gemm GFLOPs (best of a few
+/// short runs on an in-cache problem). Used as the denominator of the
+/// %-of-theoretical-peak plots (Fig. 6 right column); the paper uses the
+/// node's datasheet peak, which a simulated cluster does not have.
+double measure_peak_gflops();
+
+/// Percentage of peak: 100 * eff / (peak * procs).
+double percent_of_peak(double eff_gflops, double peak_gflops, int procs);
+
+}  // namespace atalib::metrics

@@ -1,0 +1,38 @@
+#include "metrics/models.hpp"
+
+#include <cmath>
+
+#include "sched/levels.hpp"
+
+namespace atalib::metrics {
+
+namespace {
+const double kLog27 = std::log2(7.0);
+}
+
+double strassen_cost_model(double n) { return 7.0 * std::pow(n, kLog27); }
+
+double ata_cost_model(double n) { return (2.0 / 3.0) * strassen_cost_model(n); }
+
+double classical_ata_cost(double n) { return n * n * (n + 1); }
+
+double ata_space_model(double n) { return 1.5 * n * n; }
+
+double dist_compute_model(double n, int p) {
+  const int l = sched::paper_levels_dist(p);
+  const double block = n / std::pow(2.0, l);
+  return block * block * (n / std::pow(2.0, std::max(l - 1, 0)));
+}
+
+double dist_latency_model(int p) {
+  const int l = sched::paper_levels_dist(p);
+  return 2.0 * (7.0 * std::max(l - 1, 0) + 5.0);
+}
+
+double dist_bandwidth_model(double n, int p) {
+  const int l = sched::paper_levels_dist(p);
+  const double geo = 1.0 - 1.0 / std::pow(4.0, std::max(l - 2, 0));
+  return 6.0 * (n / 2) * (n / 2) + n * (n + 2) / 2.0 + (7.0 / 6.0) * n * n * geo;
+}
+
+}  // namespace atalib::metrics

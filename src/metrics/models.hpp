@@ -1,0 +1,32 @@
+#pragma once
+// Closed-form cost models from the paper, for prediction-vs-measurement
+// benches and tests.
+
+#include "matrix/view.hpp"
+
+namespace atalib::metrics {
+
+/// Strassen multiplication count model T_S(n) ~ 7 n^(log2 7) (§3.2).
+double strassen_cost_model(double n);
+
+/// AtA cost model, eq. (3): T(n) ~ (2/3) T_S(n).
+double ata_cost_model(double n);
+
+/// Classical A^T A multiplication count n^2 (n + 1) (§3.2).
+double classical_ata_cost(double n);
+
+/// AtA workspace model S(n) = (3/2) n^2 (§3.3).
+double ata_space_model(double n);
+
+/// Prop. 4.1: AtA-D computation cost O((n/2^l)^2 * n/2^(l-1)) with
+/// l = paper_levels_dist(P).
+double dist_compute_model(double n, int p);
+
+/// Prop. 4.2 latency bound: L(n, P) = 2 (7 (l(P) - 1) + 5) messages.
+double dist_latency_model(int p);
+
+/// Prop. 4.2 bandwidth bound:
+/// BW <= 6 (n/2)^2 + n(n+2)/2 + (7/6) n^2 (1 - 1/4^(l-2)).
+double dist_bandwidth_model(double n, int p);
+
+}  // namespace atalib::metrics

@@ -1,0 +1,71 @@
+#include "mpisim/communicator.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace atalib::mpisim {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop_match(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->source == source && it->tag == tag) {
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        return msg;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+Communicator::Communicator(int size)
+    : size_(size), mailboxes_(static_cast<std::size_t>(size)), stats_(size) {
+  if (size <= 0) throw std::invalid_argument("Communicator size must be positive");
+}
+
+int RankCtx::size() const { return comm_.size(); }
+
+void Communicator::send_bytes(int source, int dest, int tag, std::vector<unsigned char> bytes,
+                              std::size_t words) {
+  if (dest < 0 || dest >= size_) throw std::out_of_range("send to invalid rank");
+  if (dest == source) throw std::logic_error("rank sent a message to itself");
+  stats_.on_send(source, words);
+  mailboxes_[static_cast<std::size_t>(dest)].push(Message{source, tag, std::move(bytes)});
+}
+
+Message Communicator::recv_bytes(int self, int source, int tag, std::size_t elem_size) {
+  Message msg = mailboxes_[static_cast<std::size_t>(self)].pop_match(source, tag);
+  stats_.on_recv(self, msg.bytes.size() / elem_size);
+  return msg;
+}
+
+void Communicator::run(const std::function<void(RankCtx&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      RankCtx ctx(*this, r);
+      try {
+        fn(ctx);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace atalib::mpisim

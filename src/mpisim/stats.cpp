@@ -1,0 +1,56 @@
+#include "mpisim/stats.hpp"
+
+#include <numeric>
+
+namespace atalib::mpisim {
+
+std::uint64_t TrafficSnapshot::total_messages() const {
+  return std::accumulate(messages_sent.begin(), messages_sent.end(), std::uint64_t{0});
+}
+
+std::uint64_t TrafficSnapshot::total_words() const {
+  return std::accumulate(words_sent.begin(), words_sent.end(), std::uint64_t{0});
+}
+
+std::uint64_t TrafficSnapshot::root_messages() const {
+  if (messages_sent.empty()) return 0;
+  return messages_sent.front() + messages_received.front();
+}
+
+std::uint64_t TrafficSnapshot::root_words() const {
+  if (words_sent.empty()) return 0;
+  return words_sent.front() + words_received.front();
+}
+
+TrafficStats::TrafficStats(int ranks)
+    : sent_(static_cast<std::size_t>(ranks)), received_(static_cast<std::size_t>(ranks)) {}
+
+void TrafficStats::on_send(int rank, std::uint64_t words) {
+  auto& c = sent_[static_cast<std::size_t>(rank)];
+  c.messages.fetch_add(1, std::memory_order_relaxed);
+  c.words.fetch_add(words, std::memory_order_relaxed);
+}
+
+void TrafficStats::on_recv(int rank, std::uint64_t words) {
+  auto& c = received_[static_cast<std::size_t>(rank)];
+  c.messages.fetch_add(1, std::memory_order_relaxed);
+  c.words.fetch_add(words, std::memory_order_relaxed);
+}
+
+TrafficSnapshot TrafficStats::snapshot() const {
+  TrafficSnapshot s;
+  const std::size_t n = sent_.size();
+  s.messages_sent.resize(n);
+  s.words_sent.resize(n);
+  s.messages_received.resize(n);
+  s.words_received.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.messages_sent[i] = sent_[i].messages.load(std::memory_order_relaxed);
+    s.words_sent[i] = sent_[i].words.load(std::memory_order_relaxed);
+    s.messages_received[i] = received_[i].messages.load(std::memory_order_relaxed);
+    s.words_received[i] = received_[i].words.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace atalib::mpisim

@@ -1,0 +1,50 @@
+#pragma once
+// Communication accounting for the mpisim runtime.
+//
+// The paper analyses AtA-D's latency (message count) and bandwidth (word
+// count) along the critical path (Prop. 4.2). Real MPI can only expose
+// those through wall time; because our ranks are in-process, we count every
+// message and word exactly and the Prop. 4.2 bench compares measured
+// against the closed forms.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace atalib::mpisim {
+
+/// Immutable snapshot of per-rank traffic.
+struct TrafficSnapshot {
+  std::vector<std::uint64_t> messages_sent;
+  std::vector<std::uint64_t> words_sent;  ///< scalar elements, not bytes
+  std::vector<std::uint64_t> messages_received;
+  std::vector<std::uint64_t> words_received;
+
+  std::uint64_t total_messages() const;
+  std::uint64_t total_words() const;
+  /// Messages touching rank 0 (sent or received): the paper's critical path
+  /// runs through the root process.
+  std::uint64_t root_messages() const;
+  std::uint64_t root_words() const;
+};
+
+/// Lock-free per-rank counters (one cache line of atomics per rank).
+class TrafficStats {
+ public:
+  explicit TrafficStats(int ranks);
+
+  void on_send(int rank, std::uint64_t words);
+  void on_recv(int rank, std::uint64_t words);
+
+  TrafficSnapshot snapshot() const;
+
+ private:
+  struct alignas(64) Counter {
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> words{0};
+  };
+  std::vector<Counter> sent_;
+  std::vector<Counter> received_;
+};
+
+}  // namespace atalib::mpisim

@@ -1,0 +1,108 @@
+#include "parallel/ata_shared.hpp"
+
+#include <algorithm>
+
+#include "ata/ata.hpp"
+#include "blas/gemm.hpp"
+#include "common/timer.hpp"
+#include "blas/syrk.hpp"
+#include "sched/shared_schedule.hpp"
+#include "strassen/strassen.hpp"
+#include "strassen/workspace.hpp"
+
+#ifdef ATALIB_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace atalib {
+namespace {
+
+template <typename T>
+void run_op(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const sched::LeafOp& op,
+            Arena<T>& arena, const SharedOptions& opts) {
+  if (op.kind == sched::LeafOp::Kind::kSyrk) {
+    auto ab = a.block(op.a.r0, op.a.c0, op.a.rows, op.a.cols);
+    auto cb = c.block(op.c.r0, op.c.c0, op.c.rows, op.c.cols);
+    if (opts.engine == SharedOptions::Engine::kStrassen) {
+      ata(alpha, ab, cb, arena, opts.recurse);
+    } else {
+      blas::syrk_ln(alpha, ab, cb);
+    }
+  } else {
+    auto ab = a.block(op.a.r0, op.a.c0, op.a.rows, op.a.cols);
+    auto bb = a.block(op.b.r0, op.b.c0, op.b.rows, op.b.cols);
+    auto cb = c.block(op.c.r0, op.c.c0, op.c.rows, op.c.cols);
+    if (opts.engine == SharedOptions::Engine::kStrassen) {
+      strassen_tn(alpha, ab, bb, cb, arena, opts.recurse);
+    } else {
+      blas::gemm_tn(alpha, ab, bb, cb);
+    }
+  }
+}
+
+template <typename T>
+index_t op_workspace(const sched::LeafOp& op, const RecurseOptions& opts) {
+  if (op.kind == sched::LeafOp::Kind::kSyrk) {
+    return ata_workspace_bound(op.a.rows, op.a.cols, opts, sizeof(T));
+  }
+  return strassen_workspace_bound(op.a.rows, op.a.cols, op.b.cols, opts, sizeof(T));
+}
+
+}  // namespace
+
+template <typename T>
+void ata_shared(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const SharedOptions& opts) {
+  const auto schedule = sched::build_shared_schedule(a.rows, a.cols, std::max(1, opts.threads));
+  const int ntasks = static_cast<int>(schedule.tasks.size());
+
+#ifdef ATALIB_HAVE_OPENMP
+#pragma omp parallel for num_threads(ntasks) schedule(static)
+#endif
+  for (int t = 0; t < ntasks; ++t) {
+    const auto& task = schedule.tasks[static_cast<std::size_t>(t)];
+    // Private workspace sized for the largest op of this task; no workspace
+    // is needed for the BLAS engine.
+    index_t bound = 0;
+    if (opts.engine == SharedOptions::Engine::kStrassen) {
+      for (const auto& op : task.ops) {
+        bound = std::max(bound, op_workspace<T>(op, opts.recurse));
+      }
+    }
+    Arena<T> arena(static_cast<std::size_t>(bound));
+    for (const auto& op : task.ops) run_op(alpha, a, c, op, arena, opts);
+  }
+}
+
+template <typename T>
+SharedProfile ata_shared_profile(T alpha, ConstMatrixView<T> a, MatrixView<T> c,
+                                 const SharedOptions& opts) {
+  const auto schedule = sched::build_shared_schedule(a.rows, a.cols, std::max(1, opts.threads));
+  SharedProfile profile;
+  for (const auto& task : schedule.tasks) {
+    index_t bound = 0;
+    if (opts.engine == SharedOptions::Engine::kStrassen) {
+      for (const auto& op : task.ops) {
+        bound = std::max(bound, op_workspace<T>(op, opts.recurse));
+      }
+    }
+    Arena<T> arena(static_cast<std::size_t>(bound));
+    ThreadCpuTimer timer;
+    for (const auto& op : task.ops) run_op(alpha, a, c, op, arena, opts);
+    const double s = timer.seconds();
+    profile.task_seconds.push_back(s);
+    profile.critical_path_seconds = std::max(profile.critical_path_seconds, s);
+    profile.total_seconds += s;
+  }
+  return profile;
+}
+
+template void ata_shared<float>(float, ConstMatrixView<float>, MatrixView<float>,
+                                const SharedOptions&);
+template void ata_shared<double>(double, ConstMatrixView<double>, MatrixView<double>,
+                                 const SharedOptions&);
+template SharedProfile ata_shared_profile<float>(float, ConstMatrixView<float>,
+                                                 MatrixView<float>, const SharedOptions&);
+template SharedProfile ata_shared_profile<double>(double, ConstMatrixView<double>,
+                                                  MatrixView<double>, const SharedOptions&);
+
+}  // namespace atalib

@@ -1,0 +1,55 @@
+#pragma once
+// AtA-S (Algorithm 3): shared-memory parallel A^T A.
+//
+// Phase 1 builds the task tree (sched::build_shared_schedule) — exactly P
+// tasks with pairwise disjoint C writes. Phase 2 runs the tasks on an
+// OpenMP parallel-for: each thread executes its task's ops with the serial
+// AtA / FastStrassen engines (or the plain BLAS kernels, selectable), using
+// a private workspace arena. No locks, no atomics, one implicit barrier at
+// the end — the paper's "perfect parallelism".
+
+#include <vector>
+
+#include "strassen/options.hpp"
+
+namespace atalib {
+
+struct SharedOptions {
+  int threads = 1;
+  RecurseOptions recurse{};
+  /// Leaf engine: Strassen-accelerated AtA/FastStrassen (the paper's
+  /// AtA-S) or the plain blocked BLAS kernels (the "MKL-style" execution
+  /// used for the Fig. 5 baseline and for AtA-D leaf fallbacks).
+  enum class Engine { kStrassen, kBlas } engine = Engine::kStrassen;
+};
+
+/// lower(C) += alpha * A^T A in parallel. A is m x n, C is n x n.
+template <typename T>
+void ata_shared(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const SharedOptions& opts);
+
+/// Per-task timing of an AtA-S schedule, for benchmarking on hosts with
+/// fewer cores than threads: tasks run *serially* (result identical), each
+/// is timed, and max(task_seconds) is the critical-path time a machine
+/// with >= P cores would see (tasks never synchronize, Algorithm 3).
+struct SharedProfile {
+  std::vector<double> task_seconds;
+  double critical_path_seconds = 0;  ///< max over tasks
+  double total_seconds = 0;          ///< sum over tasks (1-core wall time)
+};
+
+template <typename T>
+SharedProfile ata_shared_profile(T alpha, ConstMatrixView<T> a, MatrixView<T> c,
+                                 const SharedOptions& opts);
+
+extern template void ata_shared<float>(float, ConstMatrixView<float>, MatrixView<float>,
+                                       const SharedOptions&);
+extern template void ata_shared<double>(double, ConstMatrixView<double>, MatrixView<double>,
+                                        const SharedOptions&);
+extern template SharedProfile ata_shared_profile<float>(float, ConstMatrixView<float>,
+                                                        MatrixView<float>,
+                                                        const SharedOptions&);
+extern template SharedProfile ata_shared_profile<double>(double, ConstMatrixView<double>,
+                                                         MatrixView<double>,
+                                                         const SharedOptions&);
+
+}  // namespace atalib

@@ -1,0 +1,242 @@
+#include "sched/dist_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace atalib::sched {
+namespace {
+
+struct Builder {
+  std::vector<DistNode> nodes;
+  double alpha;
+
+  int new_node(DistNode::Kind kind, int level, Block c, bool symmetric) {
+    DistNode node;
+    node.kind = kind;
+    node.level = level;
+    node.c = c;
+    node.symmetric = symmetric;
+    nodes.push_back(std::move(node));
+    return static_cast<int>(nodes.size()) - 1;
+  }
+
+  void attach(int parent, int child) {
+    nodes[static_cast<std::size_t>(parent)].children.push_back(child);
+    nodes[static_cast<std::size_t>(child)].parent = parent;
+  }
+
+  int leaf(std::vector<LeafOp> ops, int level, Block c, bool symmetric) {
+    const int id = new_node(DistNode::Kind::kLeaf, level, c, symmetric);
+    nodes[static_cast<std::size_t>(id)].ops = std::move(ops);
+    return id;
+  }
+
+  /// Diagonal A^T A sub-problem on block `a` of A with p processes.
+  int syrk_node(Block a, int p, int level) {
+    const Block c = syrk_target(a);
+    if (p == 1 || a.cols <= 1 || a.rows <= 1) {
+      LeafOp op{LeafOp::Kind::kSyrk, a, Block{}, c};
+      return leaf({op}, level, c, /*symmetric=*/true);
+    }
+    const int id = new_node(DistNode::Kind::kSyrkInner, level, c, /*symmetric=*/true);
+
+    const index_t w1 = half_up(a.cols), w2 = half_down(a.cols);
+    const index_t r1 = half_up(a.rows), r2 = half_down(a.rows);
+    const Block A11{a.r0, a.c0, r1, w1};
+    const Block A12{a.r0, a.c0 + w1, r1, w2};
+    const Block A21{a.r0 + r1, a.c0, r2, w1};
+    const Block A22{a.r0 + r1, a.c0 + w1, r2, w2};
+    const Block left_full{a.r0, a.c0, a.rows, w1};
+    const Block right_full{a.r0, a.c0 + w1, a.rows, w2};
+
+    // alpha * p processes serve the off-diagonal C21 (A^T B-type) work
+    // (§4.1.2); the clamp keeps at least one process on each side.
+    const int pg = std::clamp(static_cast<int>(std::lround(alpha * p)), 1, p - 1);
+    const int ps = p - pg;
+
+    // Off-diagonal side first: the leftmost leaf (hence this node's proc)
+    // is a gemm task, matching the paper's critical-path description.
+    if (pg == 1) {
+      // Merged over rows (eq. (7)): C21 = A_right^T A_left in one op.
+      attach(id, gemm_node(right_full, left_full, 1, level + 1));
+    } else {
+      attach(id, gemm_node(A12, A11, (pg + 1) / 2, level + 1));
+      attach(id, gemm_node(A22, A21, pg / 2, level + 1));
+    }
+
+    // Diagonal side.
+    if (ps == 1) {
+      // One process owns both diagonal sub-problems; its region is the full
+      // diagonal square (the C21 part of its buffer stays zero and the
+      // parent's sum is unaffected).
+      std::vector<LeafOp> ops;
+      ops.push_back(LeafOp{LeafOp::Kind::kSyrk, left_full, Block{}, syrk_target(left_full)});
+      ops.push_back(LeafOp{LeafOp::Kind::kSyrk, right_full, Block{}, syrk_target(right_full)});
+      attach(id, leaf(std::move(ops), level + 1, c, /*symmetric=*/true));
+    } else {
+      const int q11 = (ps + 1) / 2;
+      const int q22 = ps - q11;
+      attach_diag_side(id, left_full, A11, A21, q11, level);
+      attach_diag_side(id, right_full, A12, A22, q22, level);
+    }
+    return id;
+  }
+
+  /// C_ii side with q processes: one merged leaf if q == 1, otherwise the
+  /// paper's row-split pair AtA(top) + AtA(bottom), results summed upward.
+  void attach_diag_side(int parent, Block full, Block top, Block bot, int q, int level) {
+    if (q <= 0) return;
+    if (q == 1) {
+      LeafOp op{LeafOp::Kind::kSyrk, full, Block{}, syrk_target(full)};
+      attach(parent, leaf({op}, level + 1, op.c, /*symmetric=*/true));
+      return;
+    }
+    attach(parent, syrk_node(top, (q + 1) / 2, level + 1));
+    attach(parent, syrk_node(bot, q / 2, level + 1));
+  }
+
+  /// Off-diagonal A^T B sub-problem (a and b blocks of the input A sharing
+  /// a row range) with q processes.
+  int gemm_node(Block a, Block b, int q, int level) {
+    const Block c = gemm_target(a, b);
+    if (q == 1) {
+      LeafOp op{LeafOp::Kind::kGemm, a, b, c};
+      return leaf({op}, level, c, /*symmetric=*/false);
+    }
+    const int id = new_node(DistNode::Kind::kGemmInner, level, c, /*symmetric=*/false);
+    if (q >= 8 && a.cols >= 2 && b.cols >= 2 && a.rows >= 2) {
+      // Full RecursiveGEMM expansion: 2 x 2 x 2 over a-cols, b-cols, rows.
+      // The two row halves of each C quadrant are separate children whose
+      // results this node sums.
+      const index_t a1 = half_up(a.cols), b1 = half_up(b.cols), r1 = half_up(a.rows);
+      const Block asub[2][2] = {
+          {Block{a.r0, a.c0, r1, a1}, Block{a.r0, a.c0 + a1, r1, a.cols - a1}},
+          {Block{a.r0 + r1, a.c0, a.rows - r1, a1},
+           Block{a.r0 + r1, a.c0 + a1, a.rows - r1, a.cols - a1}}};
+      const Block bsub[2][2] = {
+          {Block{b.r0, b.c0, r1, b1}, Block{b.r0, b.c0 + b1, r1, b.cols - b1}},
+          {Block{b.r0 + r1, b.c0, b.rows - r1, b1},
+           Block{b.r0 + r1, b.c0 + b1, b.rows - r1, b.cols - b1}}};
+      [[maybe_unused]] int assigned = 0;
+      int idx = 0;
+      for (int i = 0; i < 2; ++i) {        // a-cols half -> C row block
+        for (int j = 0; j < 2; ++j) {      // b-cols half -> C col block
+          for (int l = 0; l < 2; ++l) {    // row half -> summed addend
+            const int qi = q / 8 + (idx < q % 8 ? 1 : 0);
+            ++idx;
+            if (qi == 0) continue;
+            attach(id, gemm_node(asub[l][i], bsub[l][j], qi, level + 1));
+            assigned += qi;
+          }
+        }
+      }
+      assert(assigned == q);
+      return id;
+    }
+    // Remainder level: strip-tile C over an g1 x g2 grid of a-cols x b-cols
+    // (Fig. 2), full row extent, one leaf per tile.
+    index_t g1 = 1, g2 = q;
+    for (index_t d = static_cast<index_t>(std::sqrt(static_cast<double>(q))); d >= 1; --d) {
+      if (q % d == 0) {
+        g1 = d;
+        g2 = q / d;
+        break;
+      }
+    }
+    g1 = std::min(g1, a.cols);
+    g2 = std::min(g2, b.cols);
+    for (index_t i = 0; i < g1; ++i) {
+      const index_t ac0 = a.cols * i / g1, ac1 = a.cols * (i + 1) / g1;
+      for (index_t j = 0; j < g2; ++j) {
+        const index_t bc0 = b.cols * j / g2, bc1 = b.cols * (j + 1) / g2;
+        const Block at{a.r0, a.c0 + ac0, a.rows, ac1 - ac0};
+        const Block bt{b.r0, b.c0 + bc0, b.rows, bc1 - bc0};
+        LeafOp op{LeafOp::Kind::kGemm, at, bt, gemm_target(at, bt)};
+        attach(id, leaf({op}, level + 1, op.c, /*symmetric=*/false));
+      }
+    }
+    return id;
+  }
+};
+
+void dedup_blocks(std::vector<Block>& blocks) {
+  std::vector<Block> out;
+  for (const Block& b : blocks) {
+    if (std::find(out.begin(), out.end(), b) == out.end()) out.push_back(b);
+  }
+  blocks = std::move(out);
+}
+
+void visit_pre(const std::vector<DistNode>& nodes, int id, std::vector<int>& order) {
+  order.push_back(id);
+  for (int c : nodes[static_cast<std::size_t>(id)].children) visit_pre(nodes, c, order);
+}
+
+void visit_post(const std::vector<DistNode>& nodes, int id, std::vector<int>& order) {
+  for (int c : nodes[static_cast<std::size_t>(id)].children) visit_post(nodes, c, order);
+  order.push_back(id);
+}
+
+}  // namespace
+
+std::vector<int> DistTree::preorder() const {
+  std::vector<int> order;
+  order.reserve(nodes.size());
+  visit_pre(nodes, root, order);
+  return order;
+}
+
+std::vector<int> DistTree::postorder() const {
+  std::vector<int> order;
+  order.reserve(nodes.size());
+  visit_post(nodes, root, order);
+  return order;
+}
+
+DistTree build_dist_tree(index_t m, index_t n, int p, double alpha) {
+  assert(p >= 1);
+  Builder b;
+  b.alpha = alpha;
+  const int root = b.syrk_node(Block{0, 0, m, n}, p, 0);
+
+  DistTree tree;
+  tree.nodes = std::move(b.nodes);
+  tree.root = root;
+  tree.procs = p;
+
+  // Assign processes: leaves get 0..L-1 in DFS order; inner nodes execute
+  // on their leftmost leaf's process.
+  int next_proc = 0;
+  int depth = 0;
+  for (int id : tree.preorder()) {
+    DistNode& node = tree.nodes[static_cast<std::size_t>(id)];
+    if (node.kind == DistNode::Kind::kLeaf) {
+      node.proc = next_proc++;
+      depth = std::max(depth, node.level);
+    }
+  }
+  // Post-order pass: inner proc = first child's proc; needs = own ops'
+  // blocks (leaves) or union of children's needs (inner).
+  for (int id : tree.postorder()) {
+    DistNode& node = tree.nodes[static_cast<std::size_t>(id)];
+    if (node.kind == DistNode::Kind::kLeaf) {
+      for (const LeafOp& op : node.ops) {
+        node.needs.push_back(op.a);
+        if (op.kind == LeafOp::Kind::kGemm) node.needs.push_back(op.b);
+      }
+    } else {
+      node.proc = tree.nodes[static_cast<std::size_t>(node.children.front())].proc;
+      for (int c : node.children) {
+        const auto& cn = tree.nodes[static_cast<std::size_t>(c)];
+        node.needs.insert(node.needs.end(), cn.needs.begin(), cn.needs.end());
+      }
+    }
+    dedup_blocks(node.needs);
+  }
+  tree.used_procs = next_proc;
+  tree.depth = depth;
+  return tree;
+}
+
+}  // namespace atalib::sched

@@ -1,0 +1,65 @@
+#pragma once
+// AtA-D task tree (§4.1.1, Figure 1): the distribute-compute-retrieve plan.
+//
+// Every process builds this identical tree from (m, n, P, alpha) alone, so
+// the preliminary phase costs no communication. Leaves are the P computation
+// tasks; inner nodes describe the scatter of A blocks on the way down and
+// the gather-and-sum of partial C blocks on the way up (paper item (3):
+// t.parent). A node is executed by the process of its leftmost leaf, which
+// is why the root process p0 first serves a gemm task and then assembles
+// the final matrix, exactly as in the paper's Figure 1 walk-through.
+//
+// Differences from AtA-S: diagonal sub-problems ARE row-split here (the
+// paper's 6-way AtA expansion: C11 = AtA(A11) + AtA(A21) as two children
+// whose results the parent sums), and gemm nodes use the full 8-way
+// RecursiveGEMM expansion; remainders that cannot fill a level fall back to
+// the Fig. 2 strip tiling. Symmetric (A^T A-type) partial results travel as
+// packed lower triangles (§4.3.1).
+
+#include <vector>
+
+#include "sched/task.hpp"
+
+namespace atalib::sched {
+
+struct DistNode {
+  enum class Kind { kSyrkInner, kGemmInner, kLeaf };
+
+  Kind kind = Kind::kLeaf;
+  int parent = -1;            ///< node index of parent (-1 for root)
+  std::vector<int> children;  ///< node indices
+  int proc = -1;              ///< executing process (leftmost leaf's process)
+  int level = 0;              ///< depth in the tree (root = 0)
+
+  /// C region this node is responsible for. For symmetric nodes only the
+  /// lower triangle is meaningful and it is communicated packed.
+  Block c;
+  bool symmetric = false;
+
+  /// A blocks this subtree needs (deduplicated); what the parent sends down.
+  std::vector<Block> needs;
+
+  /// Leaf only: the multiplications this process performs.
+  std::vector<LeafOp> ops;
+};
+
+struct DistTree {
+  std::vector<DistNode> nodes;
+  int root = 0;
+  int procs = 0;     ///< requested process count P
+  int used_procs = 0;  ///< leaves actually created (== P except degenerate shapes)
+  int depth = 0;     ///< max leaf level
+
+  const DistNode& node(int i) const { return nodes[static_cast<std::size_t>(i)]; }
+
+  /// Node indices in pre-order (distribution phase order).
+  std::vector<int> preorder() const;
+  /// Node indices in post-order (compute + retrieval phase order).
+  std::vector<int> postorder() const;
+};
+
+/// Build the AtA-D tree for an m x n input, P processes and load-balance
+/// parameter alpha (§4.1.2; 0.5 balances gemm vs syrk leaf work).
+DistTree build_dist_tree(index_t m, index_t n, int p, double alpha = 0.5);
+
+}  // namespace atalib::sched

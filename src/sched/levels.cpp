@@ -1,0 +1,50 @@
+#include "sched/levels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atalib::sched {
+namespace {
+
+/// max{k in N : base_count / fan^k >= 1} (k = 0 allowed).
+int full_levels(long long base_count, long long fan) {
+  int k = 0;
+  long long cap = fan;
+  while (base_count >= cap) {
+    ++k;
+    cap *= fan;
+  }
+  return k;
+}
+
+long long ipow(long long b, int e) {
+  long long r = 1;
+  while (e-- > 0) r *= b;
+  return r;
+}
+
+}  // namespace
+
+int paper_levels_shared(int p) {
+  if (p <= 1) return 0;
+  if (p <= 3) return 1;
+  const long long half = p / 2;
+  const int k = full_levels(half, 4);
+  const long long mod = half % ipow(4, std::max(k, 1));
+  return 1 + k + (mod > 0 ? 1 : 0);
+}
+
+int paper_levels_dist(int p) {
+  if (p <= 1) return 0;
+  if (p <= 6) return 1;
+  const long long quarter = p / 4;
+  const int k = full_levels(quarter, 8);
+  const long long mod = quarter % ipow(8, std::max(k, 1));
+  return 1 + k + (mod > 0 ? 1 : 0);
+}
+
+double shared_work_fraction(int p) {
+  return 1.0 / std::pow(4.0, paper_levels_shared(p));
+}
+
+}  // namespace atalib::sched

@@ -1,0 +1,27 @@
+#pragma once
+// Closed-form parallel-level counts, eq. (5) and eq. (6) of the paper.
+//
+// These are the paper's analytical predictions for the number of complete
+// parallel levels in the task tree as a function of the process count P.
+// They drive the step-function shape of the scaling curves (Figs. 5-6) and
+// the per-process work model (eq. (8), Prop. 4.1). The schedulers do not
+// *use* them — they build the tree recursively — but tests compare built
+// tree depths against them and benches plot both.
+
+namespace atalib::sched {
+
+/// eq. (6): parallel levels of AtA-S with P threads.
+/// l(1) = 0, l(2) = l(3) = 1,
+/// l(P>3) = 1 + k + sign(P/2 mod 4^max{k,1}), k = max{k : (P/2)/4^k >= 1}.
+int paper_levels_shared(int p);
+
+/// eq. (5): parallel levels of AtA-D with P processes.
+/// l(1) = 0, l(2..6) = 1,
+/// l(P>6) = 1 + k + sign(P/4 mod 8^max{k,1}), k = max{k : (P/4)/8^k >= 1}.
+int paper_levels_dist(int p);
+
+/// eq. (8) work model: per-thread work of AtA-S relative to the sequential
+/// n^(log2 7) cost, i.e. 1 / 4^l(P).
+double shared_work_fraction(int p);
+
+}  // namespace atalib::sched

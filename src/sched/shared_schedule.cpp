@@ -1,0 +1,120 @@
+#include "sched/shared_schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace atalib::sched {
+namespace {
+
+struct Builder {
+  index_t m;
+  std::vector<SharedTask> tasks;
+  int depth = 0;
+
+  void note_depth(int d) { depth = std::max(depth, d); }
+
+  SharedTask& task_for(int thread) {
+    for (auto& t : tasks) {
+      if (t.thread == thread) return t;
+    }
+    tasks.push_back(SharedTask{thread, {}});
+    return tasks.back();
+  }
+
+  /// Diagonal (A^T A) sub-problem on column range [c0, c0+w), full rows,
+  /// split among threads [t0, t0+p).
+  void syrk_node(index_t c0, index_t w, int t0, int p, int level) {
+    assert(p >= 1);
+    if (p == 1 || w <= 1) {
+      LeafOp op;
+      op.kind = LeafOp::Kind::kSyrk;
+      op.a = Block{0, c0, m, w};
+      op.c = syrk_target(op.a);
+      task_for(t0).ops.push_back(op);
+      note_depth(level);
+      return;
+    }
+    const index_t w1 = half_up(w), w2 = half_down(w);
+    // alpha = 1/2 (§4.1.2): half the threads compute the off-diagonal
+    // block C21 = A_right^T A_left; the rest split between C11 and C22.
+    const int pg = std::max(1, p / 2);
+    const int ps = p - pg;
+    gemm_node(Block{0, c0 + w1, m, w2}, Block{0, c0, m, w1}, t0, pg, level + 1);
+    if (ps == 1) {
+      // One thread owns both diagonal sub-problems (two merged ops).
+      syrk_node(c0, w1, t0 + pg, 1, level + 1);
+      syrk_node(c0 + w1, w2, t0 + pg, 1, level + 1);
+    } else {
+      const int p11 = (ps + 1) / 2;
+      const int p22 = ps - p11;
+      syrk_node(c0, w1, t0 + pg, p11, level + 1);
+      syrk_node(c0 + w1, w2, t0 + pg + p11, p22, level + 1);
+    }
+  }
+
+  /// Off-diagonal (A^T B) sub-problem: C[a.cols x b.cols] += A[a]^T A[b],
+  /// full inner (row) extent, split among threads [t0, t0+q).
+  void gemm_node(Block a, Block b, int t0, int q, int level) {
+    assert(q >= 1);
+    if (q == 1) {
+      LeafOp op;
+      op.kind = LeafOp::Kind::kGemm;
+      op.a = a;
+      op.b = b;
+      op.c = gemm_target(a, b);
+      task_for(t0).ops.push_back(op);
+      note_depth(level);
+      return;
+    }
+    if (q < 4 || a.cols < 2 || b.cols < 2) {
+      // Remainder level: strip-tile C into q pieces along its larger
+      // dimension (Fig. 2 vertical/horizontal tiling, eq. (7)).
+      const bool split_b = b.cols >= a.cols;
+      const index_t w = split_b ? b.cols : a.cols;
+      const index_t tiles = std::min<index_t>(q, std::max<index_t>(w, 1));
+      for (index_t t = 0; t < tiles; ++t) {
+        const index_t lo = w * t / tiles;
+        const index_t hi = w * (t + 1) / tiles;
+        if (hi == lo) continue;
+        Block at = a, bt = b;
+        if (split_b) {
+          bt = Block{b.r0, b.c0 + lo, b.rows, hi - lo};
+        } else {
+          at = Block{a.r0, a.c0 + lo, a.rows, hi - lo};
+        }
+        gemm_node(at, bt, t0 + static_cast<int>(t), 1, level + 1);
+      }
+      // If w < q some threads stay idle for this node; the caller's split
+      // never produces that for nondegenerate shapes.
+      return;
+    }
+    // Quadrant split (2x2 over a-cols x b-cols), threads divided as evenly
+    // as possible with remainders to the leading quadrants.
+    const index_t a1 = half_up(a.cols), a2 = half_down(a.cols);
+    const index_t b1 = half_up(b.cols), b2 = half_down(b.cols);
+    const Block aL{a.r0, a.c0, a.rows, a1}, aR{a.r0, a.c0 + a1, a.rows, a2};
+    const Block bL{b.r0, b.c0, b.rows, b1}, bR{b.r0, b.c0 + b1, b.rows, b2};
+    const Block as[4] = {aL, aL, aR, aR};
+    const Block bs[4] = {bL, bR, bL, bR};
+    int assigned = 0;
+    for (int i = 0; i < 4; ++i) {
+      const int qi = q / 4 + (i < q % 4 ? 1 : 0);
+      gemm_node(as[i], bs[i], t0 + assigned, qi, level + 1);
+      assigned += qi;
+    }
+  }
+};
+
+}  // namespace
+
+SharedSchedule build_shared_schedule(index_t m, index_t n, int p) {
+  assert(p >= 1);
+  Builder b;
+  b.m = m;
+  b.syrk_node(0, n, 0, p, 0);
+  std::sort(b.tasks.begin(), b.tasks.end(),
+            [](const SharedTask& x, const SharedTask& y) { return x.thread < y.thread; });
+  return SharedSchedule{std::move(b.tasks), b.depth};
+}
+
+}  // namespace atalib::sched

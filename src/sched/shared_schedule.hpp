@@ -1,0 +1,36 @@
+#pragma once
+// AtA-S task schedule (§4.1.1 + §4.2): exactly P leaf tasks with pairwise
+// disjoint C writes, built by simulating the AtANaive recursion.
+//
+// The shared-memory scheme never splits A's *rows* when forming tasks:
+// diagonal sub-problems keep the full row extent (eq. (7): C_ii =
+// A_{*,i}^T A_{*,i}), and off-diagonal gemm tasks keep the full inner
+// dimension — so every C cell is written by exactly one thread and no
+// synchronization or reduction is ever needed ("embarrassing parallelism",
+// §4.2.1). This is why the AtA-S tree has 3 AtA-type branches per diagonal
+// node (C11, C22, C21) instead of AtA-D's 6, and 4 tile branches per gemm
+// node instead of RecursiveGEMM's 8.
+
+#include <vector>
+
+#include "sched/task.hpp"
+
+namespace atalib::sched {
+
+/// One thread's assignment: the ops it executes (usually one; a merged
+/// C11+C22 pair when an odd process count leaves a single thread for both
+/// diagonal sub-problems).
+struct SharedTask {
+  int thread = 0;
+  std::vector<LeafOp> ops;
+};
+
+struct SharedSchedule {
+  std::vector<SharedTask> tasks;  ///< exactly P entries
+  int depth = 0;                  ///< tree depth (parallel levels actually built)
+};
+
+/// Build the AtA-S schedule for an m x n input and P threads.
+SharedSchedule build_shared_schedule(index_t m, index_t n, int p);
+
+}  // namespace atalib::sched

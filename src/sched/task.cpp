@@ -1,0 +1,75 @@
+#include "sched/task.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace atalib::sched {
+
+Block syrk_target(const Block& a) { return Block{a.c0, a.c0, a.cols, a.cols}; }
+
+Block gemm_target(const Block& a, const Block& b) {
+  return Block{a.c0, b.c0, a.cols, b.cols};
+}
+
+double LeafOp::flops() const {
+  if (kind == Kind::kSyrk) {
+    // Lower triangle only: ~ m * n(n+1)/2 multiply-adds.
+    return static_cast<double>(a.rows) * a.cols * (a.cols + 1) / 2.0;
+  }
+  return static_cast<double>(a.rows) * a.cols * b.cols;
+}
+
+std::string LeafOp::to_string() const {
+  std::ostringstream os;
+  auto blk = [](const Block& x) {
+    std::ostringstream b;
+    b << "[" << x.r0 << ":" << x.r0 + x.rows << "," << x.c0 << ":" << x.c0 + x.cols << ")";
+    return b.str();
+  };
+  if (kind == Kind::kSyrk) {
+    os << "syrk A" << blk(a) << " -> C" << blk(c);
+  } else {
+    os << "gemm A" << blk(a) << "^T A" << blk(b) << " -> C" << blk(c);
+  }
+  return os.str();
+}
+
+namespace {
+
+bool rects_intersect(const Block& x, const Block& y) {
+  return x.r0 < y.r0 + y.rows && y.r0 < x.r0 + x.rows && x.c0 < y.c0 + y.cols &&
+         y.c0 < x.c0 + x.cols;
+}
+
+/// The cells a LeafOp writes: a full rectangle for gemm, the lower triangle
+/// of a diagonal square for syrk. Two regions overlap iff their bounding
+/// rectangles intersect AND, when one of them is triangular, the
+/// intersection contains at least one lower-triangle cell of it.
+bool triangle_intersects_rect(const Block& tri, const Block& rect) {
+  if (!rects_intersect(tri, rect)) return false;
+  // Intersection rectangle in global coords (only the bottom-left corner
+  // matters for the triangle test).
+  const index_t r1 = std::min(tri.r0 + tri.rows, rect.r0 + rect.rows);
+  const index_t c0 = std::max(tri.c0, rect.c0);
+  // Lower-triangle cell (i, j) of tri satisfies j - tri.c0 <= i - tri.r0.
+  // The intersection contains one iff its bottom-left corner does.
+  const index_t i = r1 - 1 - tri.r0;
+  const index_t j = c0 - tri.c0;
+  return j <= i;
+}
+
+}  // namespace
+
+bool writes_overlap(const LeafOp& x, const LeafOp& y) {
+  const bool xt = x.kind == LeafOp::Kind::kSyrk;
+  const bool yt = y.kind == LeafOp::Kind::kSyrk;
+  if (!xt && !yt) return rects_intersect(x.c, y.c);
+  if (xt && !yt) return triangle_intersects_rect(x.c, y.c);
+  if (!xt && yt) return triangle_intersects_rect(y.c, x.c);
+  // Two triangles: both diagonal squares; their bounding boxes intersect
+  // iff the column ranges do, in which case lower triangles do too.
+  return rects_intersect(x.c, y.c);
+}
+
+}  // namespace atalib::sched

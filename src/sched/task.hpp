@@ -1,0 +1,62 @@
+#pragma once
+// Task descriptors shared by the AtA-S and AtA-D schedulers (§4.1).
+//
+// Both parallel algorithms start by *simulating* the recursion of AtANaive
+// to build a task tree with exactly P leaves; each leaf describes, in global
+// coordinates of the input A and output C, which multiplication(s) one
+// process performs (paper §4.1.1, items (1)-(3)). The descriptors are pure
+// geometry — no scalar type, no data — so every rank/thread can build the
+// identical tree independently, which is what makes the preliminary phase
+// communication-free.
+
+#include <string>
+#include <vector>
+
+#include "matrix/view.hpp"
+
+namespace atalib::sched {
+
+/// Rectangular block in global coordinates (rows [r0, r0+rows) x
+/// cols [c0, c0+cols)) of the input matrix A or the output C.
+struct Block {
+  index_t r0 = 0;
+  index_t c0 = 0;
+  index_t rows = 0;
+  index_t cols = 0;
+
+  bool operator==(const Block&) const = default;
+  index_t size() const { return rows * cols; }
+  bool empty() const { return rows == 0 || cols == 0; }
+};
+
+/// One leaf multiplication (paper item (1): computationType, item (2):
+/// offsets and sizes).
+struct LeafOp {
+  enum class Kind {
+    kSyrk,  ///< lower(C[c]) += A[a]^T A[a]  (an A^T A task)
+    kGemm,  ///< C[c] += A[a]^T A[b]         (an A^T B task; b is a block of A)
+  };
+
+  Kind kind = Kind::kSyrk;
+  Block a;  ///< left operand block of A
+  Block b;  ///< right operand block of A (gemm only)
+  Block c;  ///< target block of C (for kSyrk: diagonal square, lower part)
+
+  /// Flop weight used for load-balance assertions: syrk counts n(n+1)m/...
+  /// relative units; gemm counts the full rectangle.
+  double flops() const;
+
+  std::string to_string() const;
+};
+
+/// Derive the C target block implied by operand blocks: for syrk, the
+/// diagonal square at (a.c0, a.c0); for gemm, rows indexed by a's columns
+/// and columns indexed by b's columns.
+Block syrk_target(const Block& a);
+Block gemm_target(const Block& a, const Block& b);
+
+/// True if the (lower-triangle-aware) written regions of two ops intersect.
+/// Used by the disjoint-write property tests for AtA-S.
+bool writes_overlap(const LeafOp& x, const LeafOp& y);
+
+}  // namespace atalib::sched

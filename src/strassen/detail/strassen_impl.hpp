@@ -1,0 +1,162 @@
+#pragma once
+// Shared Strassen recursion, parameterized over the workspace policy.
+//
+// The algebra (seven products, virtual padding, tight extents) is identical
+// for FastStrassen (arena workspace, §3.3) and the per-level-allocating
+// ablation baseline; only where the three per-level temporaries come from
+// differs. WorkspacePolicy provides:
+//   LevelScope level(index_t ta_elems, index_t tb_elems, index_t mt_elems)
+// where LevelScope exposes T* ta(), tb(), mt() and releases on destruction.
+//
+// See strassen.hpp for the derivation of block shapes and tight extents.
+
+#include <cassert>
+
+#include "blas/gemm.hpp"
+#include "blas/level1.hpp"
+#include "matrix/matrix.hpp"
+#include "strassen/options.hpp"
+#include "strassen/workspace.hpp"
+
+namespace atalib::detail {
+
+template <typename T, typename Policy>
+void strassen_level(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                    Policy& ws, index_t base_elements, const RecurseOptions& opts);
+
+template <typename T, typename Policy>
+void strassen_rec(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                  Policy& ws, index_t base_elements, const RecurseOptions& opts) {
+  const index_t m = a.rows, n = a.cols, k = b.cols;
+  assert(b.rows == m && c.rows == n && c.cols == k);
+  if (n == 0 || k == 0 || m == 0) return;
+  if (gemm_base_case(m, n, k, base_elements, opts.min_dim)) {
+    blas::gemm_tn(alpha, a, b, c);
+    return;
+  }
+  strassen_level(alpha, a, b, c, ws, base_elements, opts);
+}
+
+// One Strassen level for C += alpha * A^T B.
+//
+// Block shapes (eq. (1) halving: ceil first, floor second):
+//   A11 m1 x n1   A12 m1 x n2   B11 m1 x k1   B12 m1 x k2
+//   A21 m2 x n1   A22 m2 x n2   B21 m2 x k1   B22 m2 x k2
+//   C11 n1 x k1   C12 n1 x k2   C21 n2 x k1   C22 n2 x k2
+//
+// With X = A^T (X11 = A11^T, X12 = A21^T, X21 = A12^T, X22 = A22^T) and
+// padded blocks written with a bar:
+//   M1 = (X11+X22)(B-11+B-22)   M2 = (X21+X22) B-11   M3 = X11 (B-12-B-22)
+//   M4 = X22 (B-21-B-11)        M5 = (X11+X12) B-22   M6 = (X21-X11)(B-11+B-12)
+//   M7 = (X12-X22)(B-21+B-22)
+//   C-11 = M1+M4-M5+M7   C-12 = M3+M5   C-21 = M2+M4   C-22 = M1-M2+M3+M6
+template <typename T, typename Policy>
+void strassen_level(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                    Policy& ws, index_t base_elements, const RecurseOptions& opts) {
+  const index_t m = a.rows, n = a.cols, k = b.cols;
+  const index_t m1 = half_up(m), m2 = half_down(m);
+  const index_t n1 = half_up(n), n2 = half_down(n);
+  const index_t k1 = half_up(k), k2 = half_down(k);
+
+  const auto A11 = a.block(0, 0, m1, n1);
+  const auto A12 = a.block(0, n1, m1, n2);
+  const auto A21 = a.block(m1, 0, m2, n1);
+  const auto A22 = a.block(m1, n1, m2, n2);
+  const auto B11 = b.block(0, 0, m1, k1);
+  const auto B12 = b.block(0, k1, m1, k2);
+  const auto B21 = b.block(m1, 0, m2, k1);
+  const auto B22 = b.block(m1, k1, m2, k2);
+  auto C11 = c.block(0, 0, n1, k1);
+  auto C12 = c.block(0, k1, n1, k2);
+  auto C21 = c.block(n1, 0, n2, k1);
+  auto C22 = c.block(n1, k1, n2, k2);
+
+  auto level = ws.level(m1 * n1, m1 * k1, n1 * k1);
+
+  // Compute one product into the zeroed temp (tight extent nr x kc); the
+  // caller then accumulates slices of it into C quadrants.
+  auto product = [&](ConstMatrixView<T> ax, ConstMatrixView<T> bx, index_t nr, index_t kc) {
+    MatrixView<T> out(level.mt(), nr, kc, k1);
+    fill_view(out, T(0));
+    strassen_rec(T(1), ax, bx, out, ws, base_elements, opts);
+    return ConstMatrixView<T>(out);
+  };
+  // C-quadrant accumulation: src may exceed dst (virtual padded rows/cols
+  // are dropped) or be smaller (missing cells contribute zero).
+  auto add_into = [&](ConstMatrixView<T> src, MatrixView<T> dst, T coeff) {
+    const index_t r = std::min(src.rows, dst.rows);
+    const index_t cc = std::min(src.cols, dst.cols);
+    blas::view_axpy(coeff, src.block(0, 0, r, cc), dst.block(0, 0, r, cc));
+  };
+
+  // M1 = (A11 + A-22)^T (B-11 + B-22): full padded extents.
+  {
+    MatrixView<T> ta(level.ta(), m1, n1, n1);
+    blas::block_add(A11, A22, ta);
+    MatrixView<T> tb(level.tb(), m1, k1, k1);
+    blas::block_add(B11, B22, tb);
+    auto m1v = product(ta, tb, n1, k1);
+    add_into(m1v, C11, alpha);
+    add_into(m1v, C22, alpha);
+  }
+  // M2 = (A-12 + A-22)^T B11: both A-side blocks have n2 true columns ->
+  // tight m1 x n2; M2 tight n2 x k1.
+  {
+    MatrixView<T> ta(level.ta(), m1, n2, n1);
+    blas::block_add(A12, A22, ta);
+    auto m2v = product(ta, B11, n2, k1);
+    add_into(m2v, C21, alpha);
+    add_into(m2v, C22, -alpha);
+  }
+  // M3 = A11^T (B-12 - B-22): B-side has k2 true columns -> tight m1 x k2;
+  // M3 tight n1 x k2.
+  {
+    MatrixView<T> tb(level.tb(), m1, k2, k1);
+    blas::block_sub(B12, B22, tb);
+    auto m3v = product(A11, tb, n1, k2);
+    add_into(m3v, C12, alpha);
+    add_into(m3v, C22, alpha);
+  }
+  // M4 = A-22^T (B-21 - B-11): A-22's padded row is zero -> inner dim
+  // truncates to m2 (B11 loses its last row against it); A-22's padded
+  // column is zero -> M4 tight n2 x k1.
+  {
+    MatrixView<T> tb(level.tb(), m2, k1, k1);
+    blas::block_sub(B21, ConstMatrixView<T>(b.block(0, 0, m2, k1)), tb);
+    auto m4v = product(A22, tb, n2, k1);
+    add_into(m4v, C11, alpha);
+    add_into(m4v, C21, alpha);
+  }
+  // M5 = (A11 + A-21)^T B-22: A-side sum is m1 x n1 but B-22's padded row
+  // is zero -> inner dim truncates to m2; M5 tight n1 x k2.
+  {
+    MatrixView<T> ta(level.ta(), m1, n1, n1);
+    blas::block_add(A11, A21, ta);
+    auto m5v = product(ConstMatrixView<T>(ta.block(0, 0, m2, n1)), B22, n1, k2);
+    add_into(m5v, C11, -alpha);
+    add_into(m5v, C12, alpha);
+  }
+  // M6 = (A-12 - A11)^T (B11 + B-12): A11's last column survives negation
+  // -> full m1 x n1 A-side; B-side tight m1 x k1. M6 full n1 x k1, consumed
+  // only by C22 (truncated both ways).
+  {
+    MatrixView<T> ta(level.ta(), m1, n1, n1);
+    blas::block_sub(A12, A11, ta);
+    MatrixView<T> tb(level.tb(), m1, k1, k1);
+    blas::block_add(B11, B12, tb);
+    auto m6v = product(ta, tb, n1, k1);
+    add_into(m6v, C22, alpha);
+  }
+  // M7 = (A-21 - A-22)^T (B-21 + B-22): padded rows cancel -> everything
+  // tight at inner dim m2; M7 full n1 x k1, consumed only by C11.
+  {
+    MatrixView<T> ta(level.ta(), m2, n1, n1);
+    blas::block_sub(A21, A22, ta);
+    MatrixView<T> tb(level.tb(), m2, k1, k1);
+    blas::block_add(B21, B22, tb);
+    auto m7v = product(ta, tb, n1, k1);
+    add_into(m7v, C11, alpha);
+  }
+}
+
+}  // namespace atalib::detail

@@ -1,0 +1,51 @@
+#include "strassen/naive_strassen.hpp"
+
+#include "common/aligned_buffer.hpp"
+#include "strassen/detail/strassen_impl.hpp"
+
+namespace atalib {
+namespace {
+
+/// Workspace policy that heap-allocates (and frees) the three temporaries
+/// at every recursion level — the cost §3.3's pre-allocation removes.
+template <typename T>
+struct MallocPolicy {
+  class LevelScope {
+   public:
+    LevelScope(index_t ta_n, index_t tb_n, index_t mt_n)
+        : ta_(static_cast<std::size_t>(ta_n)),
+          tb_(static_cast<std::size_t>(tb_n)),
+          mt_(static_cast<std::size_t>(mt_n)) {}
+
+    T* ta() { return ta_.data(); }
+    T* tb() { return tb_.data(); }
+    T* mt() { return mt_.data(); }
+
+   private:
+    AlignedBuffer<T> ta_;
+    AlignedBuffer<T> tb_;
+    AlignedBuffer<T> mt_;
+  };
+
+  LevelScope level(index_t ta_n, index_t tb_n, index_t mt_n) {
+    return LevelScope(ta_n, tb_n, mt_n);
+  }
+};
+
+}  // namespace
+
+template <typename T>
+void naive_strassen_tn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                       const RecurseOptions& opts) {
+  const index_t base = opts.resolved_base_elements(sizeof(T));
+  MallocPolicy<T> policy;
+  detail::strassen_rec(alpha, a, b, c, policy, base, opts);
+}
+
+template void naive_strassen_tn<float>(float, ConstMatrixView<float>, ConstMatrixView<float>,
+                                       MatrixView<float>, const RecurseOptions&);
+template void naive_strassen_tn<double>(double, ConstMatrixView<double>,
+                                        ConstMatrixView<double>, MatrixView<double>,
+                                        const RecurseOptions&);
+
+}  // namespace atalib

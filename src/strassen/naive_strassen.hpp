@@ -1,0 +1,25 @@
+#pragma once
+// Per-level-allocating Strassen (ablation baseline).
+//
+// Identical recursion to strassen_tn, but every level heap-allocates its
+// three temporaries and frees them on unwind — the "naive Strassen
+// implementation" whose allocation cost Section 3.3 is designed to remove.
+// Exists so bench/ablation_workspace can quantify that claim.
+
+#include "strassen/options.hpp"
+
+namespace atalib {
+
+/// C += alpha * A^T B, allocating workspace at every recursion level.
+template <typename T>
+void naive_strassen_tn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                       const RecurseOptions& opts = {});
+
+extern template void naive_strassen_tn<float>(float, ConstMatrixView<float>,
+                                              ConstMatrixView<float>, MatrixView<float>,
+                                              const RecurseOptions&);
+extern template void naive_strassen_tn<double>(double, ConstMatrixView<double>,
+                                               ConstMatrixView<double>, MatrixView<double>,
+                                               const RecurseOptions&);
+
+}  // namespace atalib

@@ -1,0 +1,31 @@
+#pragma once
+// Tuning knobs shared by Strassen / RecursiveGEMM / AtA.
+
+#include <cstddef>
+
+#include "common/cacheinfo.hpp"
+#include "matrix/view.hpp"
+
+namespace atalib {
+
+/// Recursion cut-off options. The algorithms are cache-oblivious: these
+/// thresholds only pick the hand-off point to the leaf BLAS kernel
+/// (Algorithm 1 line 2: "if m x n <= cache size").
+struct RecurseOptions {
+  /// Base-case threshold in *elements*: recursion stops when the operand
+  /// footprint (m*n for AtA, m*n + m*k for gemm-type per Algorithm 2) is at
+  /// most this many scalars.
+  index_t base_case_elements = 0;  // 0 = probe cache at first use
+
+  /// Hard floor on any dimension; below this, recursion never pays for the
+  /// extra block sums regardless of cache footprint.
+  index_t min_dim = 8;
+
+  /// Resolve base_case_elements (probing the cache if it is 0).
+  index_t resolved_base_elements(std::size_t elem_bytes) const {
+    if (base_case_elements > 0) return base_case_elements;
+    return static_cast<index_t>(default_base_case_elements(elem_bytes));
+  }
+};
+
+}  // namespace atalib

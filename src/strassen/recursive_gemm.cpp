@@ -1,0 +1,56 @@
+#include "strassen/recursive_gemm.hpp"
+
+#include <cassert>
+
+#include "blas/gemm.hpp"
+#include "strassen/workspace.hpp"
+
+namespace atalib {
+namespace {
+
+template <typename T>
+void rec(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+         index_t base_elements, const RecurseOptions& opts) {
+  const index_t m = a.rows, n = a.cols, k = b.cols;
+  assert(b.rows == m && c.rows == n && c.cols == k);
+  if (m == 0 || n == 0 || k == 0) return;
+  // Algorithm 2 line 2: operand footprint m*n + m*k fits in cache.
+  if (gemm_base_case(m, n, k, base_elements, opts.min_dim)) {
+    blas::gemm_tn(alpha, a, b, c);
+    return;
+  }
+  const index_t m1 = half_up(m), m2 = half_down(m);
+  const index_t n1 = half_up(n), n2 = half_down(n);
+  const index_t k1 = half_up(k), k2 = half_down(k);
+  const index_t ms[2] = {m1, m2}, ns[2] = {n1, n2}, ks[2] = {k1, k2};
+  const index_t mo[2] = {0, m1}, no[2] = {0, n1}, ko[2] = {0, k1};
+
+  // C_ij += sum_l A_li^T B_lj (Algorithm 2's triple loop over 2x2 blocks).
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      if (ns[i] == 0 || ks[j] == 0) continue;
+      auto cij = c.block(no[i], ko[j], ns[i], ks[j]);
+      for (int l = 0; l < 2; ++l) {
+        if (ms[l] == 0) continue;
+        rec(alpha, a.block(mo[l], no[i], ms[l], ns[i]), b.block(mo[l], ko[j], ms[l], ks[j]),
+            cij, base_elements, opts);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void recursive_gemm_tn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                       const RecurseOptions& opts) {
+  rec(alpha, a, b, c, opts.resolved_base_elements(sizeof(T)), opts);
+}
+
+template void recursive_gemm_tn<float>(float, ConstMatrixView<float>, ConstMatrixView<float>,
+                                       MatrixView<float>, const RecurseOptions&);
+template void recursive_gemm_tn<double>(double, ConstMatrixView<double>,
+                                        ConstMatrixView<double>, MatrixView<double>,
+                                        const RecurseOptions&);
+
+}  // namespace atalib

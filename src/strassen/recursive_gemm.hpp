@@ -1,0 +1,26 @@
+#pragma once
+// RecursiveGEMM (Algorithm 2): cache-oblivious cubic C += alpha * A^T B.
+//
+// Eight-way 2x2x2 split with a BLAS base case. This is the multiplication
+// the task-tree scheduler simulates (§4.1.3: the parallel algorithms build
+// their recursion tree over AtANaive, which uses RecursiveGEMM instead of
+// Strassen, because it allocates nothing and balances evenly). It also
+// serves as the allocation-free cubic comparator in tests and ablations.
+
+#include "strassen/options.hpp"
+
+namespace atalib {
+
+/// C += alpha * A^T B by recursive 2x2 blocking (no extra memory).
+template <typename T>
+void recursive_gemm_tn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                       const RecurseOptions& opts = {});
+
+extern template void recursive_gemm_tn<float>(float, ConstMatrixView<float>,
+                                              ConstMatrixView<float>, MatrixView<float>,
+                                              const RecurseOptions&);
+extern template void recursive_gemm_tn<double>(double, ConstMatrixView<double>,
+                                               ConstMatrixView<double>, MatrixView<double>,
+                                               const RecurseOptions&);
+
+}  // namespace atalib

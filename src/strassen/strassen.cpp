@@ -1,0 +1,69 @@
+#include "strassen/strassen.hpp"
+
+#include "strassen/detail/strassen_impl.hpp"
+
+namespace atalib {
+namespace {
+
+/// Workspace policy backed by the checkpointed bump arena (§3.3 scheme).
+template <typename T>
+struct ArenaPolicy {
+  Arena<T>& arena;
+
+  class LevelScope {
+   public:
+    LevelScope(Arena<T>& arena, index_t ta_n, index_t tb_n, index_t mt_n)
+        : arena_(arena), cp_(arena.checkpoint()) {
+      ta_ = arena_.allocate(static_cast<std::size_t>(ta_n));
+      tb_ = arena_.allocate(static_cast<std::size_t>(tb_n));
+      mt_ = arena_.allocate(static_cast<std::size_t>(mt_n));
+    }
+    LevelScope(const LevelScope&) = delete;
+    LevelScope& operator=(const LevelScope&) = delete;
+    ~LevelScope() { arena_.restore(cp_); }
+
+    T* ta() const { return ta_; }
+    T* tb() const { return tb_; }
+    T* mt() const { return mt_; }
+
+   private:
+    Arena<T>& arena_;
+    typename Arena<T>::Checkpoint cp_;
+    T* ta_;
+    T* tb_;
+    T* mt_;
+  };
+
+  LevelScope level(index_t ta_n, index_t tb_n, index_t mt_n) {
+    return LevelScope(arena, ta_n, tb_n, mt_n);
+  }
+};
+
+}  // namespace
+
+template <typename T>
+void strassen_tn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                 Arena<T>& arena, const RecurseOptions& opts) {
+  const index_t base = opts.resolved_base_elements(sizeof(T));
+  ArenaPolicy<T> policy{arena};
+  detail::strassen_rec(alpha, a, b, c, policy, base, opts);
+}
+
+template <typename T>
+void fast_strassen(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                   const RecurseOptions& opts) {
+  const index_t bound = strassen_workspace_bound(a.rows, a.cols, b.cols, opts, sizeof(T));
+  Arena<T> arena(static_cast<std::size_t>(bound));
+  strassen_tn(alpha, a, b, c, arena, opts);
+}
+
+#define ATALIB_STRASSEN_INST(T)                                                          \
+  template void strassen_tn<T>(T, ConstMatrixView<T>, ConstMatrixView<T>, MatrixView<T>, \
+                               Arena<T>&, const RecurseOptions&);                        \
+  template void fast_strassen<T>(T, ConstMatrixView<T>, ConstMatrixView<T>,              \
+                                 MatrixView<T>, const RecurseOptions&)
+ATALIB_STRASSEN_INST(float);
+ATALIB_STRASSEN_INST(double);
+#undef ATALIB_STRASSEN_INST
+
+}  // namespace atalib

@@ -1,0 +1,45 @@
+#pragma once
+// Generalized Strassen for C += alpha * A^T B (FastStrassen in the paper).
+//
+// Works on any rectangular shapes and odd sizes. Odd dimensions are handled
+// in the "virtually padded" even world: conceptually A and B are padded with
+// one zero row/column per level, but no padding is ever materialized —
+// block sums write the padded extent with zeros via blas::block_add /
+// block_sub, and products whose operands have a known zero last row/column
+// are computed on the tight extent (the dropped terms multiply zeros).
+// This is the paper's dynamic-peeling-free, padding-free scheme (§3.1).
+//
+// The transpose is never materialized either: with X = A^T, each Strassen
+// X-side operand (X11+X22 etc.) equals (A11 + A22)^T, so the sums are formed
+// in A-layout and the recursion bottoms out in blas::gemm_tn which reads A
+// transposed in place.
+
+#include "common/arena.hpp"
+#include "strassen/options.hpp"
+#include "strassen/workspace.hpp"
+
+namespace atalib {
+
+/// C += alpha * A^T B using Strassen recursion and an externally supplied
+/// workspace arena (must have at least strassen_workspace_bound(...) free
+/// elements). A is m x n, B is m x k, C is n x k.
+template <typename T>
+void strassen_tn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                 Arena<T>& arena, const RecurseOptions& opts = {});
+
+/// Convenience entry matching the paper's FastStrassen: pre-allocates the
+/// workspace once, then runs the allocation-free recursion.
+template <typename T>
+void fast_strassen(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                   const RecurseOptions& opts = {});
+
+#define ATALIB_STRASSEN_EXTERN(T)                                                        \
+  extern template void strassen_tn<T>(T, ConstMatrixView<T>, ConstMatrixView<T>,        \
+                                      MatrixView<T>, Arena<T>&, const RecurseOptions&); \
+  extern template void fast_strassen<T>(T, ConstMatrixView<T>, ConstMatrixView<T>,      \
+                                        MatrixView<T>, const RecurseOptions&)
+ATALIB_STRASSEN_EXTERN(float);
+ATALIB_STRASSEN_EXTERN(double);
+#undef ATALIB_STRASSEN_EXTERN
+
+}  // namespace atalib

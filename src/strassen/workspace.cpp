@@ -1,0 +1,52 @@
+#include "strassen/workspace.hpp"
+
+#include "matrix/view.hpp"
+
+namespace atalib {
+
+bool gemm_base_case(index_t m, index_t n, index_t k, index_t base_elements, index_t min_dim) {
+  if (m <= min_dim || n <= min_dim || k <= min_dim) return true;
+  return m * n + m * k <= base_elements;
+}
+
+bool ata_base_case(index_t m, index_t n, index_t base_elements, index_t min_dim) {
+  if (m <= min_dim || n <= min_dim) return true;
+  return m * n <= base_elements;
+}
+
+index_t strassen_workspace_bound(index_t m, index_t n, index_t k, const RecurseOptions& opts,
+                                 std::size_t elem_bytes) {
+  const index_t base = opts.resolved_base_elements(elem_bytes);
+  index_t total = 0;
+  // Only one child is live at a time and every child has ceil-half dims, so
+  // the deepest path dominates: walk it iteratively.
+  while (!gemm_base_case(m, n, k, base, opts.min_dim)) {
+    const index_t m1 = half_up(m), n1 = half_up(n), k1 = half_up(k);
+    total += m1 * n1 + m1 * k1 + n1 * k1;  // TA + TB + M for this level
+    m = m1;
+    n = n1;
+    k = k1;
+  }
+  return total;
+}
+
+index_t ata_workspace_bound(index_t m, index_t n, const RecurseOptions& opts,
+                            std::size_t elem_bytes) {
+  const index_t base = opts.resolved_base_elements(elem_bytes);
+  // AtA recurses on quadrants without temporaries; workspace is consumed
+  // only by the FastStrassen call sites C21 += A12^T A11 and
+  // C21 += A22^T A21 (sizes (m1, n2, n1) and (m2, n2, n1)) and by the same
+  // sites of every AtA sub-problem. Because AtA sub-problems have dims
+  // (m1, n1) etc. and Strassen needs are monotone in each dim, the top
+  // level's larger Strassen call dominates; we still take the max over the
+  // recursion to stay exact for degenerate aspect ratios.
+  if (ata_base_case(m, n, base, opts.min_dim)) return 0;
+  const index_t m1 = half_up(m);
+  const index_t n1 = half_up(n), n2 = half_down(n);
+  // strassen_workspace_bound is monotone in every dimension, and all AtA
+  // sub-problems have dims <= (m1, n1) <= (m, n), so the top level's larger
+  // Strassen call site (m1, n2, n1) dominates every deeper call site.
+  return strassen_workspace_bound(m1, n2, n1, opts, elem_bytes);
+}
+
+}  // namespace atalib

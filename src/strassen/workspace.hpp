@@ -1,0 +1,36 @@
+#pragma once
+// Workspace sizing for FastStrassen and AtA.
+//
+// The paper pre-allocates three matrices M (n x k/2), P (m x n/2) and
+// Q (m x k/2) in FastStrassen and hands prefixes down the recursion so no
+// allocation happens at recursion time (Section 3.3). We keep the same
+// footprint and reuse discipline via a checkpointed bump arena: each
+// recursion level bump-allocates its TA (A-side sum, <= m1 x n1), TB
+// (B-side sum, <= m1 x k1) and M (product temp, <= n1 x k1) and releases
+// them on unwind, so the live set is exactly the M/P/Q prefix scheme and
+// the peak equals sum over levels of (m_l*n_l + m_l*k_l + n_l*k_l)
+// <= (mn + mk + nk)/3 + lower-order terms — the paper's 3/2 n^2 for square.
+
+#include "common/arena.hpp"
+#include "strassen/options.hpp"
+
+namespace atalib {
+
+/// Elements of workspace needed by strassen_tn on an (m x n)^T (m x k)
+/// product with the given recursion options.
+index_t strassen_workspace_bound(index_t m, index_t n, index_t k, const RecurseOptions& opts,
+                                 std::size_t elem_bytes);
+
+/// Elements of workspace needed by AtA on an m x n input: the maximum of
+/// its two Strassen call sites (the AtA recursion itself adds none).
+index_t ata_workspace_bound(index_t m, index_t n, const RecurseOptions& opts,
+                            std::size_t elem_bytes);
+
+/// True if the gemm-type base case fires for (m, n, k) under `opts`
+/// (Algorithm 2 line 2: m*n + m*k <= cache budget, or a dimension is tiny).
+bool gemm_base_case(index_t m, index_t n, index_t k, index_t base_elements, index_t min_dim);
+
+/// True if the AtA base case fires for an m x n input (Algorithm 1 line 2).
+bool ata_base_case(index_t m, index_t n, index_t base_elements, index_t min_dim);
+
+}  // namespace atalib

@@ -1,0 +1,182 @@
+// Unit tests for Matrix, views, packed storage, generators and comparators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/io.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/packed.hpp"
+
+namespace atalib {
+namespace {
+
+TEST(Matrix, InitializerListAndIndexing) {
+  Matrix<double> m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix<double>{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, ZerosAndIdentity) {
+  auto z = Matrix<float>::zeros(3, 4);
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 4; ++j) EXPECT_EQ(z(i, j), 0.0f);
+  auto id = Matrix<double>::identity(3);
+  EXPECT_DOUBLE_EQ(id(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+}
+
+TEST(Matrix, CloneIsDeep) {
+  Matrix<double> a{{1, 2}, {3, 4}};
+  Matrix<double> b = a.clone();
+  b(0, 0) = 99;
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+}
+
+TEST(Matrix, TransposedSwapsShape) {
+  Matrix<double> a{{1, 2, 3}, {4, 5, 6}};
+  Matrix<double> t = a.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(View, BlockSharesStorage) {
+  Matrix<double> a = Matrix<double>::zeros(4, 6);
+  auto blk = a.block(1, 2, 2, 3);
+  blk(0, 0) = 7.5;
+  EXPECT_DOUBLE_EQ(a(1, 2), 7.5);
+  EXPECT_EQ(blk.stride, 6);
+}
+
+TEST(View, NestedBlocksCompose) {
+  Matrix<double> a(8, 8);
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j < 8; ++j) a(i, j) = static_cast<double>(10 * i + j);
+  auto outer = a.block(2, 2, 4, 4);
+  auto inner = outer.block(1, 1, 2, 2);
+  EXPECT_DOUBLE_EQ(inner(0, 0), 33.0);
+  EXPECT_DOUBLE_EQ(inner(1, 1), 44.0);
+}
+
+TEST(View, HalfHelpersCeilFloor) {
+  EXPECT_EQ(half_up(5), 3);
+  EXPECT_EQ(half_down(5), 2);
+  EXPECT_EQ(half_up(4), 2);
+  EXPECT_EQ(half_down(4), 2);
+  EXPECT_EQ(half_up(1), 1);
+  EXPECT_EQ(half_down(1), 0);
+}
+
+TEST(View, CopyIntoAndFill) {
+  Matrix<double> src{{1, 2}, {3, 4}};
+  Matrix<double> dst = Matrix<double>::zeros(4, 4);
+  copy_into(src.const_view(), dst.block(1, 1, 2, 2));
+  EXPECT_DOUBLE_EQ(dst(2, 2), 4.0);
+  fill_view(dst.block(0, 0, 1, 4), 9.0);
+  EXPECT_DOUBLE_EQ(dst(0, 3), 9.0);
+}
+
+TEST(Packed, RoundTripPreservesLowerTriangle) {
+  Matrix<double> a{{1, 0, 0}, {2, 3, 0}, {4, 5, 6}};
+  auto p = PackedLower<double>::pack(a.const_view());
+  EXPECT_EQ(p.size(), 6);
+  Matrix<double> out = Matrix<double>::zeros(3, 3);
+  p.unpack_into(out.view());
+  EXPECT_DOUBLE_EQ(out(2, 1), 5.0);
+  EXPECT_DOUBLE_EQ(out(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(out(0, 2), 0.0);  // upper untouched (was zero)
+}
+
+TEST(Packed, AddIntoAccumulates) {
+  Matrix<double> a{{1, 0}, {2, 3}};
+  auto p = PackedLower<double>::pack(a.const_view());
+  Matrix<double> acc{{10, 0}, {10, 10}};
+  p.add_into(acc.view());
+  EXPECT_DOUBLE_EQ(acc(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(acc(1, 0), 12.0);
+  EXPECT_DOUBLE_EQ(acc(1, 1), 13.0);
+}
+
+TEST(Packed, PackedSizeFormula) {
+  EXPECT_EQ(PackedLower<double>::packed_size(1), 1);
+  EXPECT_EQ(PackedLower<double>::packed_size(10), 55);
+}
+
+TEST(Packed, SymmetrizeFromLower) {
+  Matrix<double> c{{1, 0, 0}, {2, 3, 0}, {4, 5, 6}};
+  symmetrize_from_lower(c.view());
+  EXPECT_DOUBLE_EQ(c(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 2), 5.0);
+}
+
+TEST(Generate, DeterministicInSeed) {
+  auto a = random_uniform<double>(5, 7, 11);
+  auto b = random_uniform<double>(5, 7, 11);
+  auto c = random_uniform<double>(5, 7, 12);
+  EXPECT_EQ(max_abs_diff<double>(a.const_view(), b.const_view()), 0.0);
+  EXPECT_GT(max_abs_diff<double>(a.const_view(), c.const_view()), 0.0);
+}
+
+TEST(Generate, UniformRange) {
+  auto a = random_uniform<float>(50, 50, 3);
+  for (index_t i = 0; i < a.size(); ++i) {
+    ASSERT_GE(a.data()[i], -1.0f);
+    ASSERT_LT(a.data()[i], 1.0f);
+  }
+}
+
+TEST(Generate, IntegerEntriesAreExactIntegers) {
+  auto a = random_integer<double>(20, 20, 5, 17);
+  for (index_t i = 0; i < a.size(); ++i) {
+    const double v = a.data()[i];
+    EXPECT_EQ(v, std::round(v));
+    EXPECT_LE(std::abs(v), 5.0);
+  }
+}
+
+TEST(Generate, SpdIsSymmetricWithNonnegativeDiagonal) {
+  auto s = random_spd<double>(16, 23);
+  for (index_t i = 0; i < 16; ++i) {
+    EXPECT_GE(s(i, i), 0.0);
+    for (index_t j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(s(i, j), s(j, i));
+  }
+}
+
+TEST(Compare, MaxAbsDiffAndLowerVariant) {
+  Matrix<double> a{{1, 2}, {3, 4}};
+  Matrix<double> b{{1, 9}, {3, 5}};
+  EXPECT_DOUBLE_EQ(max_abs_diff<double>(a.const_view(), b.const_view()), 7.0);
+  // Lower variant ignores the (0,1) difference.
+  EXPECT_DOUBLE_EQ(max_abs_diff_lower<double>(a.const_view(), b.const_view()), 1.0);
+}
+
+TEST(Compare, FrobeniusAndRelativeError) {
+  Matrix<double> a{{3, 4}};
+  EXPECT_DOUBLE_EQ(frobenius_norm<double>(a.const_view()), 5.0);
+  Matrix<double> b{{3, 4}};
+  EXPECT_DOUBLE_EQ(relative_error<double>(a.const_view(), b.const_view()), 0.0);
+}
+
+TEST(Compare, ToleranceScalesWithInnerDim) {
+  EXPECT_GT(mm_tolerance<double>(1000), mm_tolerance<double>(10));
+  EXPECT_GT(mm_tolerance<float>(10), mm_tolerance<double>(10));
+}
+
+TEST(Io, PrintTruncatesLargeMatrices) {
+  auto a = Matrix<double>::zeros(100, 100);
+  const std::string s = to_string(ConstMatrixView<double>(a.block(0, 0, 100, 100)), 2);
+  EXPECT_NE(s.find("100 x 100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atalib

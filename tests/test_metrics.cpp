@@ -1,0 +1,81 @@
+// Tests for metrics (eq. (9)) and the paper's cost models.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/flops.hpp"
+#include "metrics/models.hpp"
+#include "sched/levels.hpp"
+
+namespace atalib::metrics {
+namespace {
+
+TEST(EffectiveGflops, SquareMatchesEquation9) {
+  // r * n^3 / (t * 1e9) for n = 1000, t = 1s -> r gflops.
+  EXPECT_DOUBLE_EQ(effective_gflops(1.0, 1000, 1000, 1000, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(effective_gflops(2.0, 1000, 1000, 1000, 0.5), 4.0);
+}
+
+TEST(EffectiveGflops, RectangularGeneralization) {
+  EXPECT_DOUBLE_EQ(effective_gflops(1.0, 60000, 5000, 5000, 1.0), 1500.0);
+}
+
+TEST(EffectiveGflops, ZeroTimeIsZeroNotInf) {
+  EXPECT_DOUBLE_EQ(effective_gflops(1.0, 10, 10, 10, 0.0), 0.0);
+}
+
+TEST(PercentOfPeak, ScalesWithProcs) {
+  EXPECT_DOUBLE_EQ(percent_of_peak(50.0, 100.0, 1), 50.0);
+  EXPECT_DOUBLE_EQ(percent_of_peak(50.0, 100.0, 2), 25.0);
+  EXPECT_DOUBLE_EQ(percent_of_peak(50.0, 0.0, 2), 0.0);
+}
+
+TEST(PeakMeasurement, ReturnsPositiveGflops) {
+  const double peak = measure_peak_gflops();
+  EXPECT_GT(peak, 0.1);
+  EXPECT_LT(peak, 10000.0);
+}
+
+TEST(Models, AtaIsTwoThirdsOfStrassen) {
+  for (double n : {512.0, 4096.0, 30000.0}) {
+    EXPECT_NEAR(ata_cost_model(n) / strassen_cost_model(n), 2.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(Models, StrassenBeatsClassicalAsymptotically) {
+  // Crossover exists: classical n^2(n+1) wins for small n, Strassen-order
+  // wins for large n.
+  EXPECT_LT(classical_ata_cost(64), ata_cost_model(64));
+  EXPECT_GT(classical_ata_cost(1e6), ata_cost_model(1e6));
+}
+
+TEST(Models, SpaceModelIsThreeHalvesNSquared) {
+  EXPECT_DOUBLE_EQ(ata_space_model(1000), 1.5e6);
+}
+
+TEST(Models, DistComputeShrinksStepwise) {
+  const double full = dist_compute_model(4096, 1);
+  EXPECT_GT(full, dist_compute_model(4096, 8));
+  // l(8) == l(64) == 2 per eq. (5) — a wide plateau; the next drop is at
+  // the first P with l == 3 (P = 68).
+  EXPECT_DOUBLE_EQ(dist_compute_model(4096, 8), dist_compute_model(4096, 64));
+  EXPECT_GT(dist_compute_model(4096, 64), dist_compute_model(4096, 68));
+  // Plateau inside a step: l(16) == l(24) per eq. (5).
+  EXPECT_EQ(sched::paper_levels_dist(16), sched::paper_levels_dist(24));
+  EXPECT_DOUBLE_EQ(dist_compute_model(4096, 16), dist_compute_model(4096, 24));
+}
+
+TEST(Models, LatencyIsSizeFreeAndStepwise) {
+  EXPECT_DOUBLE_EQ(dist_latency_model(2), 10.0);  // l=1: 2*(0+5)
+  EXPECT_GT(dist_latency_model(64), dist_latency_model(6));
+}
+
+TEST(Models, BandwidthQuadraticInN) {
+  const double b1 = dist_bandwidth_model(1000, 16);
+  const double b2 = dist_bandwidth_model(2000, 16);
+  EXPECT_NEAR(b2 / b1, 4.0, 0.05);
+}
+
+}  // namespace
+}  // namespace atalib::metrics

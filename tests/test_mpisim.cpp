@@ -1,0 +1,128 @@
+// Tests for the in-process message-passing runtime.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpisim/communicator.hpp"
+
+namespace atalib::mpisim {
+namespace {
+
+TEST(Communicator, PingPongDeliversPayload) {
+  Communicator comm(2);
+  comm.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      const double data[3] = {1.5, 2.5, 3.5};
+      ctx.send(1, 7, data, 3);
+      auto back = ctx.recv<double>(1, 8);
+      EXPECT_EQ(back.size(), 3u);
+      EXPECT_DOUBLE_EQ(back[2], 7.0);
+    } else {
+      auto msg = ctx.recv<double>(0, 7);
+      EXPECT_DOUBLE_EQ(msg[0], 1.5);
+      for (auto& v : msg) v *= 2;
+      ctx.send(0, 8, msg.data(), msg.size());
+    }
+  });
+}
+
+TEST(Communicator, TagMatchingIsSelective) {
+  // Messages sent out of tag order must still be matched correctly.
+  Communicator comm(2);
+  comm.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      const int a = 111, b = 222;
+      ctx.send_value(1, /*tag=*/2, b);
+      ctx.send_value(1, /*tag=*/1, a);
+    } else {
+      EXPECT_EQ(ctx.recv_value<int>(0, 1), 111);
+      EXPECT_EQ(ctx.recv_value<int>(0, 2), 222);
+    }
+  });
+}
+
+TEST(Communicator, FifoWithinSameSourceAndTag) {
+  Communicator comm(2);
+  comm.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 10; ++i) ctx.send_value(1, 4, i);
+    } else {
+      for (int i = 0; i < 10; ++i) EXPECT_EQ(ctx.recv_value<int>(0, 4), i);
+    }
+  });
+}
+
+TEST(Communicator, ManyRanksAllToRoot) {
+  const int p = 16;
+  Communicator comm(p);
+  comm.run([p](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      long long sum = 0;
+      for (int src = 1; src < p; ++src) sum += ctx.recv_value<long long>(src, 1);
+      EXPECT_EQ(sum, (p - 1) * p / 2);
+    } else {
+      ctx.send_value<long long>(0, 1, ctx.rank());
+    }
+  });
+}
+
+TEST(Communicator, TrafficCountsMessagesAndWords) {
+  Communicator comm(3);
+  comm.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      std::vector<double> payload(100, 1.0);
+      ctx.send(1, 1, payload.data(), payload.size());
+      ctx.send(2, 1, payload.data(), 50);
+    } else {
+      ctx.recv<double>(0, 1);
+    }
+  });
+  const auto t = comm.traffic();
+  EXPECT_EQ(t.messages_sent[0], 2u);
+  EXPECT_EQ(t.words_sent[0], 150u);
+  EXPECT_EQ(t.messages_received[1], 1u);
+  EXPECT_EQ(t.words_received[1], 100u);
+  EXPECT_EQ(t.words_received[2], 50u);
+  EXPECT_EQ(t.total_messages(), 2u);
+  EXPECT_EQ(t.total_words(), 150u);
+  EXPECT_EQ(t.root_messages(), 2u);
+}
+
+TEST(Communicator, SelfSendIsAProtocolError) {
+  Communicator comm(1);
+  EXPECT_THROW(comm.run([](RankCtx& ctx) {
+    const int v = 1;
+    ctx.send_value(0, 0, v);
+  }),
+               std::logic_error);
+}
+
+TEST(Communicator, ExceptionsPropagateToCaller) {
+  Communicator comm(2);
+  EXPECT_THROW(comm.run([](RankCtx& ctx) {
+    if (ctx.rank() == 1) throw std::runtime_error("rank failure");
+    // rank 0 does nothing and exits
+  }),
+               std::runtime_error);
+}
+
+TEST(Communicator, LargePayloadIntegrity) {
+  Communicator comm(2);
+  comm.run([](RankCtx& ctx) {
+    const std::size_t n = 1 << 18;
+    if (ctx.rank() == 0) {
+      std::vector<float> data(n);
+      std::iota(data.begin(), data.end(), 0.0f);
+      ctx.send(1, 3, data.data(), data.size());
+    } else {
+      auto data = ctx.recv<float>(0, 3);
+      ASSERT_EQ(data.size(), n);
+      EXPECT_EQ(data[12345], 12345.0f);
+      EXPECT_EQ(data[n - 1], static_cast<float>(n - 1));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace atalib::mpisim

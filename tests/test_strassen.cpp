@@ -1,0 +1,156 @@
+// Tests for the generalized rectangular odd-size Strassen (FastStrassen)
+// and its workspace accounting.
+
+#include <gtest/gtest.h>
+
+#include "blas/reference.hpp"
+#include "common/arena.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "strassen/naive_strassen.hpp"
+#include "strassen/strassen.hpp"
+#include "strassen/workspace.hpp"
+
+namespace atalib {
+namespace {
+
+RecurseOptions tiny_base() {
+  RecurseOptions opts;
+  opts.base_case_elements = 64;  // force deep recursion on small inputs
+  opts.min_dim = 2;
+  return opts;
+}
+
+struct Shape {
+  index_t m, n, k;
+};
+
+class StrassenShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(StrassenShapes, MatchesReferenceExactlyOnIntegers) {
+  const auto [m, n, k] = GetParam();
+  auto a = random_integer<double>(m, n, 3, 1);
+  auto b = random_integer<double>(m, k, 3, 2);
+  auto c = Matrix<double>::zeros(n, k);
+  auto c_ref = Matrix<double>::zeros(n, k);
+  blas::ref::gemm_tn(2.0, a.const_view(), b.const_view(), c_ref.view());
+  fast_strassen(2.0, a.const_view(), b.const_view(), c.view(), tiny_base());
+  EXPECT_EQ(max_abs_diff<double>(c.const_view(), c_ref.const_view()), 0.0)
+      << "m=" << m << " n=" << n << " k=" << k;
+}
+
+TEST_P(StrassenShapes, NaiveAllocatingVariantAgrees) {
+  const auto [m, n, k] = GetParam();
+  auto a = random_integer<double>(m, n, 3, 3);
+  auto b = random_integer<double>(m, k, 3, 4);
+  auto c1 = Matrix<double>::zeros(n, k);
+  auto c2 = Matrix<double>::zeros(n, k);
+  fast_strassen(1.0, a.const_view(), b.const_view(), c1.view(), tiny_base());
+  naive_strassen_tn(1.0, a.const_view(), b.const_view(), c2.view(), tiny_base());
+  EXPECT_EQ(max_abs_diff<double>(c1.const_view(), c2.const_view()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, StrassenShapes,
+    ::testing::Values(Shape{2, 2, 2}, Shape{3, 3, 3}, Shape{4, 4, 4}, Shape{5, 5, 5},
+                      Shape{7, 7, 7}, Shape{8, 8, 8}, Shape{9, 9, 9}, Shape{16, 16, 16},
+                      Shape{17, 19, 23}, Shape{32, 32, 32}, Shape{33, 31, 29},
+                      Shape{64, 64, 64}, Shape{65, 63, 64}, Shape{100, 30, 70},
+                      Shape{30, 100, 70}, Shape{70, 30, 100}, Shape{127, 65, 129},
+                      Shape{128, 1, 128}, Shape{1, 64, 64}, Shape{64, 64, 1}));
+
+TEST(Strassen, AccumulatesIntoNonzeroC) {
+  auto a = random_integer<double>(20, 15, 3, 5);
+  auto b = random_integer<double>(20, 10, 3, 6);
+  auto c = Matrix<double>::zeros(15, 10);
+  fill_view(c.view(), 2.5);
+  auto expected = c.clone();
+  blas::ref::gemm_tn(-1.0, a.const_view(), b.const_view(), expected.view());
+  fast_strassen(-1.0, a.const_view(), b.const_view(), c.view(), tiny_base());
+  EXPECT_EQ(max_abs_diff<double>(c.const_view(), expected.const_view()), 0.0);
+}
+
+TEST(Strassen, WorkspaceBoundIsRespectedAndTight) {
+  // The recursion must fit in exactly the computed bound (the arena throws
+  // otherwise), and must actually use it when recursion happens.
+  const RecurseOptions opts = tiny_base();
+  for (const auto& s : {Shape{32, 32, 32}, Shape{33, 29, 31}, Shape{64, 16, 48}}) {
+    auto a = random_uniform<double>(s.m, s.n, 7);
+    auto b = random_uniform<double>(s.m, s.k, 8);
+    auto c = Matrix<double>::zeros(s.n, s.k);
+    const index_t bound = strassen_workspace_bound(s.m, s.n, s.k, opts, sizeof(double));
+    Arena<double> arena(static_cast<std::size_t>(bound));
+    EXPECT_NO_THROW(strassen_tn(1.0, a.const_view(), b.const_view(), c.view(), arena, opts));
+    EXPECT_GT(arena.high_water(), 0u);
+    EXPECT_LE(arena.high_water(), static_cast<std::size_t>(bound));
+    EXPECT_EQ(arena.used(), 0u);  // fully released on unwind
+  }
+}
+
+TEST(Strassen, WorkspaceBoundMatchesPaperSquareModel) {
+  // §3.3: workspace ~ (mn + mk + nk)/3 summed over levels <= 3/2 n^2 for
+  // square shapes (our per-level charge is (mn + mk + nk)/4 * geometric).
+  RecurseOptions opts;
+  opts.base_case_elements = 1;  // full recursion
+  opts.min_dim = 1;
+  const index_t n = 1024;
+  const index_t bound = strassen_workspace_bound(n, n, n, opts, sizeof(double));
+  EXPECT_LT(static_cast<double>(bound), 1.5 * static_cast<double>(n) * n);
+  EXPECT_GT(static_cast<double>(bound), 0.9 * static_cast<double>(n) * n);
+}
+
+TEST(Strassen, BaseCasePredicates) {
+  EXPECT_TRUE(gemm_base_case(4, 100, 100, 1, 8));    // tiny dimension
+  EXPECT_TRUE(gemm_base_case(10, 10, 10, 1000, 2));  // fits in budget
+  EXPECT_FALSE(gemm_base_case(100, 100, 100, 1000, 2));
+  EXPECT_TRUE(ata_base_case(10, 10, 200, 2));
+  EXPECT_FALSE(ata_base_case(100, 100, 200, 2));
+}
+
+TEST(Strassen, ReusedArenaAcrossCallsNeedsNoRealloc) {
+  const RecurseOptions opts = tiny_base();
+  const index_t bound = strassen_workspace_bound(48, 48, 48, opts, sizeof(double));
+  Arena<double> arena(static_cast<std::size_t>(bound));
+  auto a = random_integer<double>(48, 48, 2, 9);
+  auto b = random_integer<double>(48, 48, 2, 10);
+  auto c = Matrix<double>::zeros(48, 48);
+  for (int i = 0; i < 3; ++i) {
+    strassen_tn(1.0, a.const_view(), b.const_view(), c.view(), arena, opts);
+    EXPECT_EQ(arena.used(), 0u);
+  }
+  auto c_ref = Matrix<double>::zeros(48, 48);
+  blas::ref::gemm_tn(3.0, a.const_view(), b.const_view(), c_ref.view());
+  EXPECT_EQ(max_abs_diff<double>(c.const_view(), c_ref.const_view()), 0.0);
+}
+
+TEST(Strassen, FloatPrecisionWithinStrassenTolerance) {
+  const index_t n = 96;
+  auto a = random_uniform<float>(n, n, 31);
+  auto b = random_uniform<float>(n, n, 32);
+  auto c = Matrix<float>::zeros(n, n);
+  auto c_ref = Matrix<float>::zeros(n, n);
+  RecurseOptions opts;
+  opts.base_case_elements = 512;
+  opts.min_dim = 4;
+  fast_strassen(1.0f, a.const_view(), b.const_view(), c.view(), opts);
+  blas::ref::gemm_tn(1.0f, a.const_view(), b.const_view(), c_ref.view());
+  // Strassen's error grows faster than classical; allow extra slack.
+  EXPECT_LT(max_abs_diff<float>(c.const_view(), c_ref.const_view()),
+            mm_tolerance<float>(n, 512.0));
+}
+
+TEST(Strassen, LargeBaseCaseShortCircuitsToBlas) {
+  // With a huge threshold the call is just one blas::gemm_tn and needs no
+  // workspace.
+  RecurseOptions opts;
+  opts.base_case_elements = 1 << 28;
+  auto a = random_integer<double>(40, 40, 3, 11);
+  auto b = random_integer<double>(40, 40, 3, 12);
+  auto c = Matrix<double>::zeros(40, 40);
+  EXPECT_EQ(strassen_workspace_bound(40, 40, 40, opts, sizeof(double)), 0);
+  Arena<double> arena(0);
+  EXPECT_NO_THROW(strassen_tn(1.0, a.const_view(), b.const_view(), c.view(), arena, opts));
+}
+
+}  // namespace
+}  // namespace atalib

@@ -1,0 +1,117 @@
+// Runtime A/B: warm persistent pool vs per-call fork-join on repeated
+// AtA-S calls.
+//
+// The serving workload the ROADMAP targets is "the same Gram matrix shape,
+// over and over": per-call thread creation and per-task workspace mallocs
+// are pure overhead there. This bench runs the identical AtA-S schedule
+// through both Executor engines and reports per-call latency plus the
+// pool's workspace-growth counters — after the warm-up call the pool must
+// perform zero slab allocations (the "no malloc on the steady-state hot
+// path" acceptance check prints at the bottom).
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "matrix/matrix.hpp"
+#include "parallel/ata_shared.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace atalib;
+
+std::size_t pool_grows(runtime::ThreadPool& pool) {
+  std::size_t total = 0;
+  for (int s = 0; s < pool.concurrency(); ++s) total += pool.workspace(s).grow_count();
+  return total;
+}
+
+struct Result {
+  double mean_ms = 0;
+  double min_ms = 0;
+};
+
+template <typename Fn>
+Result time_calls(Fn&& call, int calls) {
+  Result r;
+  double total = 0, best = 1e300;
+  for (int i = 0; i < calls; ++i) {
+    Timer t;
+    call();
+    const double s = t.seconds();
+    total += s;
+    best = std::min(best, s);
+  }
+  r.mean_ms = total / calls * 1e3;
+  r.min_ms = best * 1e3;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  bench::add_common_flags(flags);
+  flags.add_int("threads", 4, "AtA-S P (task-tree width)");
+  flags.add_int("oversub", 4, "task over-decomposition factor (P' = oversub * P)");
+  flags.add_int("calls", 20, "repeated AtA-S calls per engine");
+  flags.add_bool("strict-latency", false,
+                 "also fail (exit 1) when the warm pool loses the latency A/B; off by "
+                 "default because wall-clock comparisons flake on shared/1-core hosts");
+  if (!flags.parse(argc, argv)) return 1;
+  const double scale = flags.get_double("scale");
+  const int threads = static_cast<int>(flags.get_int("threads"));
+  const int oversub = static_cast<int>(flags.get_int("oversub"));
+  const int calls = std::max(1, static_cast<int>(flags.get_int("calls")));
+
+  bench::print_banner("Persistent work-stealing pool vs fork-join on repeated AtA-S",
+                      "runtime A/B (post-paper engineering; not a paper figure)");
+
+  const index_t m = bench::scaled(640, scale);
+  const index_t n = bench::scaled(512, scale);
+  const auto a = random_uniform<double>(m, n, 321);
+  auto c = Matrix<double>::zeros(n, n);
+
+  SharedOptions opts;
+  opts.threads = threads;
+  opts.oversub = oversub;
+  opts.recurse = bench::recurse_from_flags(flags);
+
+  runtime::ThreadPool pool(threads);
+  runtime::ForkJoinExecutor forkjoin(threads);
+
+  auto call_with = [&](runtime::Executor& exec) {
+    opts.executor = &exec;
+    fill_view(c.view(), 0.0);
+    ata_shared(1.0, a.const_view(), c.view(), opts);
+  };
+
+  // Warm both engines once (first pool call grows the worker arenas).
+  call_with(pool);
+  call_with(forkjoin);
+  const std::size_t grows_warm = pool_grows(pool);
+
+  const Result rp = time_calls([&] { call_with(pool); }, calls);
+  const std::size_t grows_steady = pool_grows(pool) - grows_warm;
+  const Result rf = time_calls([&] { call_with(forkjoin); }, calls);
+
+  Table table("Repeated AtA-S, " + std::to_string(m) + "x" + std::to_string(n) + ", P=" +
+              std::to_string(threads) + ", P'=" + std::to_string(threads * oversub) + ", " +
+              std::to_string(calls) + " calls");
+  table.set_header({"engine", "mean ms/call", "min ms/call", "steals", "arena grows (steady)"});
+  table.add_row({pool.name(), Table::num(rp.mean_ms, 3), Table::num(rp.min_ms, 3),
+                 std::to_string(pool.steals()), std::to_string(grows_steady)});
+  table.add_row({forkjoin.name(), Table::num(rf.mean_ms, 3), Table::num(rf.min_ms, 3), "-",
+                 "-"});
+  table.print();
+
+  const bool latency_ok = rp.min_ms <= rf.min_ms * 1.05;  // 5% noise floor
+  std::printf("check: steady-state arena grows = %zu (want 0: no workspace malloc when warm)\n",
+              grows_steady);
+  std::printf("check: warm-pool min latency %s fork-join (%.3f ms vs %.3f ms)\n",
+              latency_ok ? "<=" : "EXCEEDS", rp.min_ms, rf.min_ms);
+  if (grows_steady != 0) return 1;
+  if (flags.get_bool("strict-latency") && !latency_ok) return 1;
+  return 0;
+}

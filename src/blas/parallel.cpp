@@ -6,83 +6,90 @@
 
 #include "blas/gemm.hpp"
 #include "blas/syrk.hpp"
-
-#ifdef ATALIB_HAVE_OPENMP
-#include <omp.h>
-#endif
+#include "runtime/executor.hpp"
 
 namespace atalib::blas::par {
-namespace {
-
-/// Run fn(t) for t in [0, threads) in parallel.
-template <typename Fn>
-void parallel_for_threads(int threads, Fn&& fn) {
-#ifdef ATALIB_HAVE_OPENMP
-#pragma omp parallel for num_threads(threads) schedule(static)
-  for (int t = 0; t < threads; ++t) fn(t);
-#else
-  for (int t = 0; t < threads; ++t) fn(t);
-#endif
-}
-
-}  // namespace
 
 template <typename T>
-void gemm_tn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c, int threads) {
-  threads = std::max(1, std::min<int>(threads, static_cast<int>(c.cols)));
-  if (threads == 1) {
+void gemm_tn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c, int threads,
+             runtime::Executor& exec) {
+  const int stripes = std::max(1, std::min<int>(threads, static_cast<int>(c.cols)));
+  if (stripes == 1) {
     blas::gemm_tn(alpha, a, b, c);
     return;
   }
-  parallel_for_threads(threads, [&](int t) {
-    const index_t j0 = c.cols * t / threads;
-    const index_t j1 = c.cols * (t + 1) / threads;
-    if (j1 > j0) {
-      blas::gemm_tn(alpha, a, b.block(0, j0, b.rows, j1 - j0), c.block(0, j0, c.rows, j1 - j0));
-    }
-  });
+  exec.run(
+      stripes,
+      [&](int t, runtime::TaskContext&) {
+        const index_t j0 = c.cols * t / stripes;
+        const index_t j1 = c.cols * (t + 1) / stripes;
+        if (j1 > j0) {
+          blas::gemm_tn(alpha, a, b.block(0, j0, b.rows, j1 - j0),
+                        c.block(0, j0, c.rows, j1 - j0));
+        }
+      },
+      threads);
 }
 
 template <typename T>
-void syrk_ln(T alpha, ConstMatrixView<T> a, MatrixView<T> c, int threads) {
+void gemm_tn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c, int threads) {
+  gemm_tn(alpha, a, b, c, threads, runtime::default_executor());
+}
+
+template <typename T>
+void syrk_ln(T alpha, ConstMatrixView<T> a, MatrixView<T> c, int threads,
+             runtime::Executor& exec) {
   const index_t n = c.rows;
-  threads = std::max(1, std::min<int>(threads, static_cast<int>(n)));
-  if (threads == 1) {
+  const int stripes = std::max(1, std::min<int>(threads, static_cast<int>(n)));
+  if (stripes == 1) {
     blas::syrk_ln(alpha, a, c);
     return;
   }
   // Equal-area row stripes: the lower-triangle area below row r is r^2/2, so
   // boundaries at n*sqrt(k/P) give each stripe the same flop count.
-  std::vector<index_t> bound(static_cast<std::size_t>(threads) + 1);
+  std::vector<index_t> bound(static_cast<std::size_t>(stripes) + 1);
   bound[0] = 0;
-  for (int k = 1; k <= threads; ++k) {
+  for (int k = 1; k <= stripes; ++k) {
     bound[static_cast<std::size_t>(k)] = static_cast<index_t>(
-        std::llround(static_cast<double>(n) * std::sqrt(static_cast<double>(k) / threads)));
+        std::llround(static_cast<double>(n) * std::sqrt(static_cast<double>(k) / stripes)));
   }
-  bound[static_cast<std::size_t>(threads)] = n;
-  for (int k = 1; k <= threads; ++k) {
+  bound[static_cast<std::size_t>(stripes)] = n;
+  for (int k = 1; k <= stripes; ++k) {
     bound[static_cast<std::size_t>(k)] =
         std::max(bound[static_cast<std::size_t>(k)], bound[static_cast<std::size_t>(k - 1)]);
   }
 
-  parallel_for_threads(threads, [&](int t) {
-    const index_t r0 = bound[static_cast<std::size_t>(t)];
-    const index_t r1 = bound[static_cast<std::size_t>(t) + 1];
-    if (r1 <= r0) return;
-    // Rectangle [r0:r1) x [0:r0) plus the diagonal triangle [r0:r1)^2.
-    if (r0 > 0) {
-      blas::gemm_tn(alpha, a.block(0, r0, a.rows, r1 - r0), a.block(0, 0, a.rows, r0),
-                    c.block(r0, 0, r1 - r0, r0));
-    }
-    blas::syrk_ln(alpha, a.block(0, r0, a.rows, r1 - r0), c.block(r0, r0, r1 - r0, r1 - r0));
-  });
+  exec.run(
+      stripes,
+      [&](int t, runtime::TaskContext&) {
+        const index_t r0 = bound[static_cast<std::size_t>(t)];
+        const index_t r1 = bound[static_cast<std::size_t>(t) + 1];
+        if (r1 <= r0) return;
+        // Rectangle [r0:r1) x [0:r0) plus the diagonal triangle [r0:r1)^2.
+        if (r0 > 0) {
+          blas::gemm_tn(alpha, a.block(0, r0, a.rows, r1 - r0), a.block(0, 0, a.rows, r0),
+                        c.block(r0, 0, r1 - r0, r0));
+        }
+        blas::syrk_ln(alpha, a.block(0, r0, a.rows, r1 - r0),
+                      c.block(r0, r0, r1 - r0, r1 - r0));
+      },
+      threads);
 }
 
-template void gemm_tn<float>(float, ConstMatrixView<float>, ConstMatrixView<float>,
-                             MatrixView<float>, int);
-template void gemm_tn<double>(double, ConstMatrixView<double>, ConstMatrixView<double>,
-                              MatrixView<double>, int);
-template void syrk_ln<float>(float, ConstMatrixView<float>, MatrixView<float>, int);
-template void syrk_ln<double>(double, ConstMatrixView<double>, MatrixView<double>, int);
+template <typename T>
+void syrk_ln(T alpha, ConstMatrixView<T> a, MatrixView<T> c, int threads) {
+  syrk_ln(alpha, a, c, threads, runtime::default_executor());
+}
+
+#define ATALIB_BLAS_PAR_INSTANTIATE(T)                                                   \
+  template void gemm_tn<T>(T, ConstMatrixView<T>, ConstMatrixView<T>, MatrixView<T>,     \
+                           int);                                                         \
+  template void gemm_tn<T>(T, ConstMatrixView<T>, ConstMatrixView<T>, MatrixView<T>,     \
+                           int, runtime::Executor&);                                     \
+  template void syrk_ln<T>(T, ConstMatrixView<T>, MatrixView<T>, int);                   \
+  template void syrk_ln<T>(T, ConstMatrixView<T>, MatrixView<T>, int, runtime::Executor&)
+ATALIB_BLAS_PAR_INSTANTIATE(float);
+ATALIB_BLAS_PAR_INSTANTIATE(double);
+#undef ATALIB_BLAS_PAR_INSTANTIATE
 
 }  // namespace atalib::blas::par

@@ -45,6 +45,20 @@ class Arena {
     return p;
   }
 
+  /// Discard every allocation (capacity and high-water mark retained).
+  /// Used by the runtime's per-worker workspace reuse between tasks.
+  void reset() noexcept { top_ = 0; }
+
+  /// Grow capacity to at least `count` elements; never shrinks. Only valid
+  /// while the arena is empty — contents are not preserved.
+  void reserve(std::size_t count) {
+    if (count <= slab_.size()) return;
+    if (top_ != 0) {
+      throw std::logic_error("Arena::reserve on a non-empty arena");
+    }
+    slab_ = AlignedBuffer<T>(count);
+  }
+
   /// LIFO checkpoint token.
   struct Checkpoint {
     std::size_t top;

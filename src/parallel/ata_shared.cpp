@@ -1,18 +1,16 @@
 #include "parallel/ata_shared.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "ata/ata.hpp"
 #include "blas/gemm.hpp"
-#include "common/timer.hpp"
 #include "blas/syrk.hpp"
+#include "common/timer.hpp"
+#include "runtime/executor.hpp"
 #include "sched/shared_schedule.hpp"
 #include "strassen/strassen.hpp"
 #include "strassen/workspace.hpp"
-
-#ifdef ATALIB_HAVE_OPENMP
-#include <omp.h>
-#endif
 
 namespace atalib {
 namespace {
@@ -48,44 +46,67 @@ index_t op_workspace(const sched::LeafOp& op, const RecurseOptions& opts) {
   return strassen_workspace_bound(op.a.rows, op.a.cols, op.b.cols, opts, sizeof(T));
 }
 
+/// Workspace elements the largest op of `task` needs (0 for the BLAS
+/// engine, which is allocation-free).
+template <typename T>
+index_t task_workspace(const sched::SharedTask& task, const SharedOptions& opts) {
+  if (opts.engine != SharedOptions::Engine::kStrassen) return 0;
+  index_t bound = 0;
+  for (const auto& op : task.ops) {
+    bound = std::max(bound, op_workspace<T>(op, opts.recurse));
+  }
+  return bound;
+}
+
 }  // namespace
 
 template <typename T>
 void ata_shared(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const SharedOptions& opts) {
-  const auto schedule = sched::build_shared_schedule(a.rows, a.cols, std::max(1, opts.threads));
+  const int p = std::max(1, opts.threads);
+  const auto schedule =
+      sched::build_shared_schedule(a.rows, a.cols, p, std::max(1, opts.oversub));
   const int ntasks = static_cast<int>(schedule.tasks.size());
 
-#ifdef ATALIB_HAVE_OPENMP
-#pragma omp parallel for num_threads(ntasks) schedule(static)
-#endif
-  for (int t = 0; t < ntasks; ++t) {
-    const auto& task = schedule.tasks[static_cast<std::size_t>(t)];
-    // Private workspace sized for the largest op of this task; no workspace
-    // is needed for the BLAS engine.
-    index_t bound = 0;
-    if (opts.engine == SharedOptions::Engine::kStrassen) {
-      for (const auto& op : task.ops) {
-        bound = std::max(bound, op_workspace<T>(op, opts.recurse));
-      }
-    }
-    Arena<T> arena(static_cast<std::size_t>(bound));
-    for (const auto& op : task.ops) run_op(alpha, a, c, op, arena, opts);
+  // Every slot's arena is sized to the high-water mark over the whole
+  // schedule, not the task at hand: stealing may route any task to any
+  // slot, and a per-task bound would let a late first-time steal of the
+  // biggest task trigger a malloc on an otherwise warm pool.
+  index_t bound = 0;
+  for (const auto& task : schedule.tasks) {
+    bound = std::max(bound, task_workspace<T>(task, opts));
   }
+
+  runtime::Executor& exec = opts.executor ? *opts.executor : runtime::default_executor();
+  if (bound > 0) {  // the BLAS engine is allocation-free; nothing to warm
+    if constexpr (std::is_same_v<T, float>) {
+      exec.warm_workspaces(static_cast<std::size_t>(bound), 0);
+    } else {
+      exec.warm_workspaces(0, static_cast<std::size_t>(bound));
+    }
+  }
+  // Width p caps the fork-join engine at the requested thread count; the
+  // pool treats it as advisory (see Executor::run) — its idle workers may
+  // still steal, which is always safe on write-disjoint tasks.
+  exec.run(
+      ntasks,
+      [&](int t, runtime::TaskContext& ctx) {
+        const auto& task = schedule.tasks[static_cast<std::size_t>(t)];
+        Arena<T>& arena = ctx.arena<T>(static_cast<std::size_t>(bound));
+        for (const auto& op : task.ops) run_op(alpha, a, c, op, arena, opts);
+      },
+      p);
 }
 
 template <typename T>
 SharedProfile ata_shared_profile(T alpha, ConstMatrixView<T> a, MatrixView<T> c,
                                  const SharedOptions& opts) {
-  const auto schedule = sched::build_shared_schedule(a.rows, a.cols, std::max(1, opts.threads));
+  const auto schedule = sched::build_shared_schedule(a.rows, a.cols, std::max(1, opts.threads),
+                                                     std::max(1, opts.oversub));
+  runtime::Workspace workspace;  // one reusable arena across all timed tasks
   SharedProfile profile;
   for (const auto& task : schedule.tasks) {
-    index_t bound = 0;
-    if (opts.engine == SharedOptions::Engine::kStrassen) {
-      for (const auto& op : task.ops) {
-        bound = std::max(bound, op_workspace<T>(op, opts.recurse));
-      }
-    }
-    Arena<T> arena(static_cast<std::size_t>(bound));
+    Arena<T>& arena =
+        workspace.arena<T>(static_cast<std::size_t>(task_workspace<T>(task, opts)));
     ThreadCpuTimer timer;
     for (const auto& op : task.ops) run_op(alpha, a, c, op, arena, opts);
     const double s = timer.seconds();

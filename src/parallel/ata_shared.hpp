@@ -1,12 +1,15 @@
 #pragma once
 // AtA-S (Algorithm 3): shared-memory parallel A^T A.
 //
-// Phase 1 builds the task tree (sched::build_shared_schedule) — exactly P
-// tasks with pairwise disjoint C writes. Phase 2 runs the tasks on an
-// OpenMP parallel-for: each thread executes its task's ops with the serial
-// AtA / FastStrassen engines (or the plain BLAS kernels, selectable), using
-// a private workspace arena. No locks, no atomics, one implicit barrier at
-// the end — the paper's "perfect parallelism".
+// Phase 1 builds the task tree (sched::build_shared_schedule) — P' =
+// oversub * P tasks with pairwise disjoint C writes. Phase 2 submits the
+// tasks to a runtime::Executor: by default the persistent work-stealing
+// thread pool (runtime/thread_pool.hpp), whose warm workers and reusable
+// per-worker workspace arenas make repeated calls thread-creation- and
+// malloc-free; alternatively the paper's original fork-join OpenMP scheme
+// (runtime::ForkJoinExecutor), kept behind the same interface for A/B
+// benchmarking. Disjoint writes mean no locks and no atomics on C either
+// way — the paper's "perfect parallelism".
 
 #include <vector>
 
@@ -14,13 +17,25 @@
 
 namespace atalib {
 
+namespace runtime {
+class Executor;
+}
+
 struct SharedOptions {
+  /// The paper's P: the task tree is built as if for this many threads.
+  /// Actual concurrency is min(P', executor slots).
   int threads = 1;
+  /// Over-decomposition factor: build P' = oversub * threads tasks so a
+  /// work-stealing executor can rebalance uneven tasks or oversubscribed
+  /// cores. 1 reproduces the paper's one-task-per-thread schedule.
+  int oversub = 1;
   RecurseOptions recurse{};
   /// Leaf engine: Strassen-accelerated AtA/FastStrassen (the paper's
   /// AtA-S) or the plain blocked BLAS kernels (the "MKL-style" execution
   /// used for the Fig. 5 baseline and for AtA-D leaf fallbacks).
   enum class Engine { kStrassen, kBlas } engine = Engine::kStrassen;
+  /// Execution engine; null uses runtime::default_executor().
+  runtime::Executor* executor = nullptr;
 };
 
 /// lower(C) += alpha * A^T A in parallel. A is m x n, C is n x n.

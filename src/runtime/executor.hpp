@@ -1,0 +1,100 @@
+#pragma once
+// Execution layer shared by AtA-S, the parallel BLAS wrappers, and the
+// benches.
+//
+// A batch is `ntasks` independent, pairwise write-disjoint tasks (the
+// schedulers in sched/ guarantee disjointness), executed by an Executor:
+//
+//   - ThreadPool (thread_pool.hpp): persistent workers, per-worker queues,
+//     work stealing, reusable per-worker workspace arenas. The default.
+//   - ForkJoinExecutor (below): the paper's original one-shot
+//     `omp parallel for` execution, kept behind the same interface so the
+//     benches can A/B warm-pool against fork-join. Compile with
+//     ATALIB_RUNTIME_FORKJOIN to make it the process default.
+//
+// Tasks receive a TaskContext naming the executing slot and its reusable
+// Workspace; all scratch memory must come from there so repeated calls
+// stay malloc-free once warm.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/workspace.hpp"
+
+namespace atalib::runtime {
+
+/// Handed to each task invocation. `worker` is the executing slot id,
+/// stable for the duration of the batch; `workspace` is that slot's
+/// private reusable workspace (no other task runs on it concurrently).
+struct TaskContext {
+  int worker = 0;
+  Workspace* workspace = nullptr;
+
+  /// Shorthand for workspace->arena<T>(min_capacity).
+  template <typename T>
+  Arena<T>& arena(std::size_t min_capacity) {
+    return workspace->arena<T>(min_capacity);
+  }
+};
+
+/// fn(task, ctx) for task in [0, ntasks).
+using TaskFn = std::function<void(int task, TaskContext& ctx)>;
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Number of execution slots (upper bound on concurrency).
+  virtual int concurrency() const = 0;
+
+  /// Human-readable engine name for bench tables.
+  virtual const char* name() const = 0;
+
+  /// Execute fn(t, ctx) for every t in [0, ntasks); returns when all tasks
+  /// have finished. `width` caps the concurrency actually used (0 = the
+  /// executor's own limit); the fork-join engine clamps its thread count to
+  /// min(width, ntasks, concurrency()), the pool treats it as advisory
+  /// (idle persistent workers may still steal — tasks are write-disjoint,
+  /// so extra concurrency is always safe).
+  virtual void run(int ntasks, const TaskFn& fn, int width = 0) = 0;
+
+  /// Pre-grow every slot's workspace to the given element counts, so a
+  /// following run() whose tasks request at most that much performs no
+  /// slab allocation on any slot — even one executing its first task ever
+  /// (stealing routes any task to any slot). No-op once warm. Must not
+  /// overlap a run() on the same executor.
+  virtual void warm_workspaces(std::size_t float_elems, std::size_t double_elems) = 0;
+};
+
+/// The paper's original execution scheme: fork threads, run the parallel
+/// for, join — no state survives between calls except the per-slot
+/// workspaces (kept so the A/B against the pool isolates thread management
+/// rather than allocator behavior). Uses OpenMP when compiled in, a serial
+/// loop otherwise. Independent client threads are serialized (the slot
+/// workspaces cannot serve two batches at once); do not submit from
+/// inside a task.
+class ForkJoinExecutor final : public Executor {
+ public:
+  /// threads <= 0 selects std::thread::hardware_concurrency().
+  explicit ForkJoinExecutor(int threads = 0);
+
+  int concurrency() const override { return static_cast<int>(slots_.size()); }
+  const char* name() const override;
+  void run(int ntasks, const TaskFn& fn, int width = 0) override;
+  void warm_workspaces(std::size_t float_elems, std::size_t double_elems) override;
+
+  /// Slot workspaces, for bench/test introspection.
+  Workspace& workspace(int slot) { return *slots_[static_cast<std::size_t>(slot)]; }
+
+ private:
+  std::mutex run_mu_;  // serializes independent client threads
+  std::vector<std::unique_ptr<Workspace>> slots_;
+};
+
+/// Process-wide default: the global persistent ThreadPool, or a global
+/// ForkJoinExecutor when built with ATALIB_RUNTIME_FORKJOIN.
+Executor& default_executor();
+
+}  // namespace atalib::runtime

@@ -1,0 +1,199 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace atalib::runtime {
+namespace {
+
+/// Nesting depth of pool task execution on the current thread. A run()
+/// issued from inside a task must not block on run_mu_ (the outer run()
+/// holds it), so it executes inline instead.
+thread_local int tl_task_depth = 0;
+
+/// Depth of inline batch execution on the current thread (see run()).
+thread_local int tl_inline_depth = 0;
+
+/// Workspace for inline execution paths (re-entrant or width-1 batches).
+/// Thread-local so concurrent inline clients never share arenas, and
+/// persistent so even the inline path reuses its slab across calls.
+Workspace& inline_workspace() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  int n = threads > 0 ? threads : static_cast<int>(std::thread::hardware_concurrency());
+  n = std::max(1, n);
+  queues_.reserve(static_cast<std::size_t>(n));
+  workspaces_.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    queues_.push_back(std::make_unique<Queue>());
+    workspaces_.push_back(std::make_unique<Workspace>());
+  }
+  threads_.reserve(static_cast<std::size_t>(n - 1));
+  for (int s = 0; s < n - 1; ++s) {
+    threads_.emplace_back([this, s] { worker_main(s); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_main(int slot) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    lk.unlock();
+    drain(slot);
+    lk.lock();
+  }
+}
+
+void ThreadPool::drain(int slot) {
+  int task = -1;
+  while (try_pop(slot, task) || try_steal(slot, task)) {
+    execute(slot, task);
+  }
+}
+
+bool ThreadPool::try_pop(int slot, int& task) {
+  Queue& q = *queues_[static_cast<std::size_t>(slot)];
+  std::lock_guard<std::mutex> lk(q.mu);
+  if (q.tasks.empty()) return false;
+  task = q.tasks.front();
+  q.tasks.pop_front();
+  return true;
+}
+
+bool ThreadPool::try_steal(int thief, int& task) {
+  const int n = concurrency();
+  for (int d = 1; d < n; ++d) {
+    Queue& q = *queues_[static_cast<std::size_t>((thief + d) % n)];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (q.tasks.empty()) continue;
+    // Steal from the cold end: the victim pops its own front, so the two
+    // ends never contend on the same task under load.
+    task = q.tasks.back();
+    q.tasks.pop_back();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::execute(int slot, int task) {
+  TaskContext ctx;
+  ctx.worker = slot;
+  ctx.workspace = workspaces_[static_cast<std::size_t>(slot)].get();
+  ++tl_task_depth;
+  try {
+    (*fn_)(task, ctx);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  --tl_task_depth;
+  finish_one();
+}
+
+void ThreadPool::finish_one() {
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Lock pairs with the predicate evaluation in run(); without it the
+    // notify could fire between the caller's check and its sleep.
+    std::lock_guard<std::mutex> lk(mu_);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::warm_workspaces(std::size_t float_elems, std::size_t double_elems) {
+  // From inside a task the slot workspaces belong to the enclosing batch
+  // and the inline workspace may hold a live arena — nothing safe to warm.
+  if (tl_task_depth > 0 || tl_inline_depth > 0) return;
+  {
+    // Workers touch their workspace only while executing a task, and run()
+    // does not return with tasks in flight, so growing from here is safe
+    // between batches; run_mu_ fences off other client threads.
+    std::lock_guard<std::mutex> run_lk(run_mu_);
+    for (auto& ws : workspaces_) ws->warm(float_elems, double_elems);
+  }
+  inline_workspace().warm(float_elems, double_elems);  // width-1 path
+}
+
+void ThreadPool::run(int ntasks, const TaskFn& fn, int width) {
+  if (ntasks <= 0) return;
+  const int nslots = concurrency();
+  if (tl_task_depth > 0 || nslots == 1 || ntasks == 1 || width == 1) {
+    // Inline serial path. The thread-local workspace keeps it warm across
+    // calls; a *nested* inline batch (inside a pool task or another inline
+    // batch) gets a private workspace instead, because the enclosing task
+    // may hold a live arena in the shared one.
+    const bool nested = tl_task_depth > 0 || tl_inline_depth > 0;
+    Workspace local;
+    TaskContext ctx;
+    ctx.worker = 0;
+    ctx.workspace = nested ? &local : &inline_workspace();
+    ++tl_inline_depth;
+    try {
+      for (int t = 0; t < ntasks; ++t) fn(t, ctx);
+    } catch (...) {
+      --tl_inline_depth;
+      throw;
+    }
+    --tl_inline_depth;
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lk(run_mu_);
+  fn_ = &fn;
+  first_error_ = nullptr;
+  // remaining_ must be published before any queue push: a racing worker
+  // finishing a task it stole mid-setup decrements it immediately.
+  remaining_.store(ntasks, std::memory_order_release);
+  // Block distribution: slot s owns a contiguous chunk of task ids, so the
+  // schedule's home-worker hints translate into locality; stealing
+  // rebalances from there.
+  for (int s = 0; s < nslots; ++s) {
+    const int lo = static_cast<int>(static_cast<long long>(ntasks) * s / nslots);
+    const int hi = static_cast<int>(static_cast<long long>(ntasks) * (s + 1) / nslots);
+    if (hi == lo) continue;
+    Queue& q = *queues_[static_cast<std::size_t>(s)];
+    std::lock_guard<std::mutex> qlk(q.mu);
+    for (int t = lo; t < hi; ++t) q.tasks.push_back(t);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++generation_;
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  work_cv_.notify_all();
+
+  drain(nslots - 1);  // the caller participates as the last slot
+
+  if (remaining_.load(std::memory_order_acquire) != 0) {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return remaining_.load(std::memory_order_acquire) == 0; });
+  }
+  fn_ = nullptr;
+  if (first_error_) {
+    std::rethrow_exception(std::exchange(first_error_, nullptr));
+  }
+}
+
+}  // namespace atalib::runtime

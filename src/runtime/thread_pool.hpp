@@ -1,0 +1,101 @@
+#pragma once
+// Persistent work-stealing thread pool.
+//
+// W worker threads are created once and parked on a condition variable;
+// run(ntasks, fn) block-distributes task indices over W+1 per-slot deques
+// (the submitting caller participates as the last slot), wakes the
+// workers, and every slot drains its own queue front-first, then steals
+// from the cold end of other slots' queues. Threads are never created and
+// no workspace is allocated on the steady-state hot path — that is the
+// whole point versus the fork-join engine.
+//
+// Each slot owns a Workspace whose arenas grow monotonically to the
+// high-water mark of the tasks that slot has executed; stealing moves a
+// task, never its memory, so a stolen task simply warms the thief's arena.
+//
+// Queues are tiny-critical-section mutex deques, not lock-free Chase-Lev:
+// tasks here are matrix multiplications (micro- to milliseconds), so queue
+// overhead is noise, and the mutex makes the exactly-once pop guarantee
+// trivially auditable (see tests/test_runtime.cpp integrity test).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/executor.hpp"
+
+namespace atalib::runtime {
+
+class ThreadPool final : public Executor {
+ public:
+  /// threads <= 0 selects std::thread::hardware_concurrency(). `threads`
+  /// counts total execution slots: threads-1 persistent workers plus the
+  /// calling thread, which always participates in run().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int concurrency() const override { return static_cast<int>(queues_.size()); }
+  const char* name() const override { return "pool"; }
+
+  /// Runs the batch; rethrows the first task exception after the batch
+  /// drains (the pool stays usable). Re-entrant submissions from inside a
+  /// task execute inline on the submitting thread. Independent client
+  /// threads are serialized.
+  void run(int ntasks, const TaskFn& fn, int width = 0) override;
+
+  void warm_workspaces(std::size_t float_elems, std::size_t double_elems) override;
+
+  /// The process-wide pool used by default_executor(): hardware-sized,
+  /// created on first use, workers persist until exit.
+  static ThreadPool& global();
+
+  /// Tasks executed by a slot other than their home slot (lifetime total).
+  std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  /// Batches executed (lifetime total).
+  std::uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  /// Slot workspaces (workers are slots 0..concurrency()-2, the caller
+  /// runs as the last slot).
+  Workspace& workspace(int slot) { return *workspaces_[static_cast<std::size_t>(slot)]; }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<int> tasks;
+  };
+
+  void worker_main(int slot);
+  void drain(int slot);
+  bool try_pop(int slot, int& task);
+  bool try_steal(int thief, int& task);
+  void execute(int slot, int task);
+  void finish_one();
+
+  std::vector<std::unique_ptr<Queue>> queues_;          // one per slot
+  std::vector<std::unique_ptr<Workspace>> workspaces_;  // parallel to queues_
+  std::vector<std::thread> threads_;                    // the W workers
+
+  std::mutex mu_;  // guards generation_ / stop_ / first_error_, pairs the cvs
+  std::condition_variable work_cv_;  // workers park here between batches
+  std::condition_variable done_cv_;  // run() waits here for the batch
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+
+  const TaskFn* fn_ = nullptr;       // current batch body
+  std::atomic<int> remaining_{0};    // unfinished tasks in the current batch
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> batches_{0};
+
+  std::mutex run_mu_;  // serializes independent client threads
+};
+
+}  // namespace atalib::runtime

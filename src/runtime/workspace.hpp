@@ -1,0 +1,66 @@
+#pragma once
+// Reusable per-worker workspace for the task runtime.
+//
+// Every executor slot owns one Workspace: a monotonically grown Arena per
+// scalar type, kept warm across task batches. A task asks for
+// `arena<T>(min_capacity)` at the start of its body and bump-allocates out
+// of it; the slab is grown to the high-water mark of everything the slot
+// has ever run and never freed between calls, so a warm pool performs zero
+// workspace mallocs on the steady-state hot path.
+
+#include <cstddef>
+#include <type_traits>
+
+#include "common/arena.hpp"
+
+namespace atalib::runtime {
+
+class Workspace {
+ public:
+  /// The slot's arena for T, reset to empty with >= min_capacity free
+  /// elements. Growth is monotonic: once the slot has seen the largest
+  /// request it will ever get, subsequent calls never allocate.
+  template <typename T>
+  Arena<T>& arena(std::size_t min_capacity) {
+    Arena<T>& a = slot<T>();
+    a.reset();
+    if (a.capacity() < min_capacity) {
+      a.reserve(min_capacity);
+      ++grows_;
+    }
+    return a;
+  }
+
+  /// Grow both typed slabs to the given element counts (and reset them).
+  void warm(std::size_t float_elems, std::size_t double_elems) {
+    arena<float>(float_elems);
+    arena<double>(double_elems);
+  }
+
+  /// Slab (re)allocations performed so far. Benches assert this stops
+  /// moving once the pool is warm.
+  std::size_t grow_count() const noexcept { return grows_; }
+
+  /// Current footprint in bytes across both typed slabs.
+  std::size_t bytes() const noexcept {
+    return float_.capacity() * sizeof(float) + double_.capacity() * sizeof(double);
+  }
+
+ private:
+  template <typename T>
+  Arena<T>& slot() {
+    static_assert(std::is_same_v<T, float> || std::is_same_v<T, double>,
+                  "runtime workspace supports float and double");
+    if constexpr (std::is_same_v<T, float>) {
+      return float_;
+    } else {
+      return double_;
+    }
+  }
+
+  Arena<float> float_;
+  Arena<double> double_;
+  std::size_t grows_ = 0;
+};
+
+}  // namespace atalib::runtime

@@ -107,11 +107,12 @@ struct Builder {
 
 }  // namespace
 
-SharedSchedule build_shared_schedule(index_t m, index_t n, int p) {
+SharedSchedule build_shared_schedule(index_t m, index_t n, int p, int oversub) {
   assert(p >= 1);
+  const int ntasks = std::max(1, p) * std::max(1, oversub);
   Builder b;
   b.m = m;
-  b.syrk_node(0, n, 0, p, 0);
+  b.syrk_node(0, n, 0, ntasks, 0);
   std::sort(b.tasks.begin(), b.tasks.end(),
             [](const SharedTask& x, const SharedTask& y) { return x.thread < y.thread; });
   return SharedSchedule{std::move(b.tasks), b.depth};

@@ -17,20 +17,28 @@
 
 namespace atalib::sched {
 
-/// One thread's assignment: the ops it executes (usually one; a merged
-/// C11+C22 pair when an odd process count leaves a single thread for both
+/// One task's assignment: the ops it executes (usually one; a merged
+/// C11+C22 pair when an odd process count leaves a single task for both
 /// diagonal sub-problems).
 struct SharedTask {
+  /// Task id in [0, P'). With oversub == 1 this is the paper's thread id
+  /// (one task per thread); with over-decomposition it is a home-worker
+  /// hint — a work-stealing executor maps contiguous id ranges to workers
+  /// and rebalances from there.
   int thread = 0;
   std::vector<LeafOp> ops;
 };
 
 struct SharedSchedule {
-  std::vector<SharedTask> tasks;  ///< exactly P entries
+  std::vector<SharedTask> tasks;  ///< exactly P' = oversub * P entries
   int depth = 0;                  ///< tree depth (parallel levels actually built)
 };
 
-/// Build the AtA-S schedule for an m x n input and P threads.
-SharedSchedule build_shared_schedule(index_t m, index_t n, int p);
+/// Build the AtA-S schedule for an m x n input and P threads. `oversub`
+/// over-decomposes the tree: P' = oversub * P tasks are built by simulating
+/// the recursion one or two levels deeper, preserving the disjoint-C-write
+/// invariant (it holds for every task count), so execution stays lock-free
+/// on the output while stealing rebalances uneven tasks.
+SharedSchedule build_shared_schedule(index_t m, index_t n, int p, int oversub = 1);
 
 }  // namespace atalib::sched

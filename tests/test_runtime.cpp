@@ -1,0 +1,277 @@
+// Tests for the persistent task-pool runtime: exactly-once execution under
+// stealing (the Snippet-1-style integrity property), workspace reuse,
+// re-entrancy, error propagation, the over-decomposed AtA-S schedule, and
+// bitwise agreement of pool-executed AtA-S with the serial engines.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "ata/ata.hpp"
+#include "blas/parallel.hpp"
+#include "blas/reference.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "parallel/ata_shared.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sched/shared_schedule.hpp"
+
+namespace atalib {
+namespace {
+
+// ---- Pool integrity ---------------------------------------------------
+
+TEST(ThreadPool, EveryTaskRunsExactlyOnce) {
+  runtime::ThreadPool pool(4);
+  ASSERT_EQ(pool.concurrency(), 4);
+  const int ntasks = 20000;
+  // One buffer per slot; a slot is driven by exactly one thread during a
+  // batch, so the buffers need no locking — same shape as the tasksys
+  // integrity test.
+  std::vector<std::vector<int>> buffers(static_cast<std::size_t>(pool.concurrency()));
+  for (int batch = 0; batch < 3; ++batch) {
+    for (auto& b : buffers) b.clear();
+    pool.run(ntasks, [&](int t, runtime::TaskContext& ctx) {
+      buffers[static_cast<std::size_t>(ctx.worker)].push_back(t);
+    });
+    std::set<int> seen;
+    for (const auto& b : buffers) {
+      for (int t : b) {
+        EXPECT_TRUE(seen.insert(t).second) << "duplicate task " << t;
+      }
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), ntasks) << "dropped tasks";
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), ntasks - 1);
+  }
+  EXPECT_EQ(pool.batches(), 3u);
+}
+
+TEST(ThreadPool, AssortedBatchSizesSumCorrectly) {
+  runtime::ThreadPool pool(3);
+  for (int n : {1, 2, 3, 7, 64, 1000}) {
+    std::atomic<long long> sum{0};
+    pool.run(n, [&](int t, runtime::TaskContext&) {
+      sum.fetch_add(t, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), static_cast<long long>(n) * (n - 1) / 2) << "n=" << n;
+  }
+}
+
+TEST(ThreadPool, ReentrantSubmissionExecutesInline) {
+  runtime::ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.run(4, [&](int, runtime::TaskContext&) {
+    pool.run(8, [&](int, runtime::TaskContext&) {
+      inner.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner.load(), 4 * 8);
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesAndPoolSurvives) {
+  runtime::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.run(16,
+                        [&](int t, runtime::TaskContext&) {
+                          ran.fetch_add(1, std::memory_order_relaxed);
+                          if (t == 3) throw std::runtime_error("task 3 failed");
+                        }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 16) << "batch must drain even after a failure";
+  std::atomic<int> after{0};
+  pool.run(8, [&](int, runtime::TaskContext&) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 8);
+}
+
+// ---- Workspace reuse --------------------------------------------------
+
+TEST(Workspace, GrowsMonotonicallyAndReuses) {
+  runtime::Workspace ws;
+  Arena<double>& a1 = ws.arena<double>(100);
+  EXPECT_GE(a1.capacity(), 100u);
+  EXPECT_EQ(ws.grow_count(), 1u);
+  double* p = a1.allocate(100);
+  EXPECT_NE(p, nullptr);
+  // A smaller request reuses the slab, reset to empty.
+  Arena<double>& a2 = ws.arena<double>(50);
+  EXPECT_EQ(&a2, &a1);
+  EXPECT_EQ(a2.used(), 0u);
+  EXPECT_GE(a2.capacity(), 100u);
+  EXPECT_EQ(ws.grow_count(), 1u);
+  // A larger request grows once; float arena is independent.
+  ws.arena<double>(200);
+  EXPECT_EQ(ws.grow_count(), 2u);
+  ws.arena<float>(64);
+  EXPECT_EQ(ws.grow_count(), 3u);
+  EXPECT_GE(ws.bytes(), 200 * sizeof(double) + 64 * sizeof(float));
+}
+
+TEST(ThreadPool, WarmPoolStopsAllocatingWorkspace) {
+  runtime::ThreadPool pool(3);
+  auto batch = [&] {
+    pool.run(24, [&](int t, runtime::TaskContext& ctx) {
+      Arena<double>& arena = ctx.arena<double>(static_cast<std::size_t>(1024 + 64 * (t % 4)));
+      double* p = arena.allocate(128);
+      p[0] = static_cast<double>(t);  // touch the slab
+    });
+  };
+  batch();
+  std::size_t grows_after_warmup = 0;
+  for (int s = 0; s < pool.concurrency(); ++s) {
+    grows_after_warmup += pool.workspace(s).grow_count();
+  }
+  for (int rep = 0; rep < 5; ++rep) batch();
+  std::size_t grows_after_reps = 0;
+  for (int s = 0; s < pool.concurrency(); ++s) {
+    grows_after_reps += pool.workspace(s).grow_count();
+  }
+  EXPECT_EQ(grows_after_reps, grows_after_warmup)
+      << "steady-state batches must not reallocate workspace";
+}
+
+// ---- Over-decomposed AtA-S schedule ------------------------------------
+
+TEST(SharedScheduleOversub, BuildsPrimeTasksWithDisjointCoveringWrites) {
+  const index_t m = 120, n = 97;
+  for (int p : {3, 4, 7}) {
+    for (int oversub : {2, 3}) {
+      const auto s = sched::build_shared_schedule(m, n, p, oversub);
+      EXPECT_EQ(static_cast<int>(s.tasks.size()), p * oversub) << "P=" << p << " c=" << oversub;
+      std::vector<sched::LeafOp> all;
+      for (const auto& t : s.tasks) all.insert(all.end(), t.ops.begin(), t.ops.end());
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        for (std::size_t j = i + 1; j < all.size(); ++j) {
+          EXPECT_FALSE(sched::writes_overlap(all[i], all[j]))
+              << all[i].to_string() << " vs " << all[j].to_string();
+        }
+      }
+      // Every lower-triangle cell written exactly once.
+      std::vector<int> hits(static_cast<std::size_t>(n * n), 0);
+      for (const auto& op : all) {
+        for (index_t i = 0; i < op.c.rows; ++i) {
+          for (index_t j = 0; j < op.c.cols; ++j) {
+            if (op.kind == sched::LeafOp::Kind::kSyrk && j > i) continue;
+            hits[static_cast<std::size_t>((op.c.r0 + i) * n + op.c.c0 + j)]++;
+          }
+        }
+      }
+      for (index_t i = 0; i < n; ++i) {
+        for (index_t j = 0; j <= i; ++j) {
+          ASSERT_EQ(hits[static_cast<std::size_t>(i * n + j)], 1)
+              << "cell (" << i << "," << j << ") P=" << p << " c=" << oversub;
+        }
+      }
+    }
+  }
+}
+
+// ---- AtA-S over the pool vs serial engines -----------------------------
+
+RecurseOptions tiny_base() {
+  RecurseOptions opts;
+  opts.base_case_elements = 256;
+  opts.min_dim = 2;
+  return opts;
+}
+
+TEST(AtaSharedPool, BitwiseMatchesSerialAtaOnIntegerInputs) {
+  // Integer matrices make every execution order produce identical floats,
+  // so the pool execution (any stealing interleaving) must agree exactly
+  // with the serial recursion.
+  runtime::ThreadPool pool(4);
+  const struct {
+    index_t m, n;
+  } shapes[] = {{64, 64}, {96, 80}, {120, 88}};
+  for (const auto& shape : shapes) {
+    const auto a = random_integer<double>(shape.m, shape.n, 3, 1234);
+    auto c_serial = Matrix<double>::zeros(shape.n, shape.n);
+    ata(1.0, a.const_view(), c_serial.view(), tiny_base());
+    for (int p : {1, 3, 4, 7}) {
+      for (int oversub : {1, 2, 4}) {
+        SharedOptions so;
+        so.threads = p;
+        so.oversub = oversub;
+        so.recurse = tiny_base();
+        so.executor = &pool;
+        auto c_pool = Matrix<double>::zeros(shape.n, shape.n);
+        ata_shared(1.0, a.const_view(), c_pool.view(), so);
+        EXPECT_EQ(max_abs_diff_lower<double>(c_pool.const_view(), c_serial.const_view()), 0.0)
+            << "m=" << shape.m << " n=" << shape.n << " P=" << p << " c=" << oversub;
+      }
+    }
+  }
+}
+
+TEST(AtaSharedPool, DefaultExecutorAndForkJoinAgree) {
+  const auto a = random_integer<float>(72, 56, 2, 77);
+  auto c_ref = Matrix<float>::zeros(56, 56);
+  blas::ref::syrk_ln(1.0f, a.const_view(), c_ref.view());
+
+  SharedOptions so;
+  so.threads = 5;
+  so.oversub = 2;
+  so.recurse = tiny_base();
+  auto c_default = Matrix<float>::zeros(56, 56);
+  ata_shared(1.0f, a.const_view(), c_default.view(), so);  // default executor
+
+  runtime::ForkJoinExecutor forkjoin(4);
+  so.executor = &forkjoin;
+  auto c_fj = Matrix<float>::zeros(56, 56);
+  ata_shared(1.0f, a.const_view(), c_fj.view(), so);
+
+  EXPECT_EQ(max_abs_diff_lower<float>(c_default.const_view(), c_ref.const_view()), 0.0);
+  EXPECT_EQ(max_abs_diff_lower<float>(c_fj.const_view(), c_ref.const_view()), 0.0);
+}
+
+TEST(AtaSharedPool, BlasEngineAndProfileAgreeOverPool) {
+  runtime::ThreadPool pool(3);
+  const auto a = random_integer<double>(80, 64, 3, 91);
+  auto c_ref = Matrix<double>::zeros(64, 64);
+  blas::ref::syrk_ln(1.0, a.const_view(), c_ref.view());
+
+  SharedOptions so;
+  so.threads = 6;
+  so.oversub = 3;
+  so.recurse = tiny_base();
+  so.executor = &pool;
+  so.engine = SharedOptions::Engine::kBlas;
+  auto c_blas = Matrix<double>::zeros(64, 64);
+  ata_shared(1.0, a.const_view(), c_blas.view(), so);
+  EXPECT_EQ(max_abs_diff_lower<double>(c_blas.const_view(), c_ref.const_view()), 0.0);
+
+  so.engine = SharedOptions::Engine::kStrassen;
+  auto c_prof = Matrix<double>::zeros(64, 64);
+  const auto profile = ata_shared_profile(1.0, a.const_view(), c_prof.view(), so);
+  EXPECT_EQ(static_cast<int>(profile.task_seconds.size()), 6 * 3);
+  EXPECT_EQ(max_abs_diff_lower<double>(c_prof.const_view(), c_ref.const_view()), 0.0);
+}
+
+// ---- Parallel BLAS over an explicit executor ---------------------------
+
+TEST(BlasParExecutor, StripedKernelsMatchReference) {
+  runtime::ThreadPool pool(4);
+  const index_t m = 48, n = 36, k = 28;
+  const auto a = random_integer<double>(m, n, 3, 5);
+  const auto b = random_integer<double>(m, k, 3, 6);
+
+  auto c_ref = Matrix<double>::zeros(n, k);
+  blas::ref::gemm_tn(1.0, a.const_view(), b.const_view(), c_ref.view());
+  auto c_par = Matrix<double>::zeros(n, k);
+  blas::par::gemm_tn(1.0, a.const_view(), b.const_view(), c_par.view(), 7, pool);
+  EXPECT_EQ(max_abs_diff<double>(c_par.const_view(), c_ref.const_view()), 0.0);
+
+  auto s_ref = Matrix<double>::zeros(n, n);
+  blas::ref::syrk_ln(1.0, a.const_view(), s_ref.view());
+  auto s_par = Matrix<double>::zeros(n, n);
+  blas::par::syrk_ln(1.0, a.const_view(), s_par.view(), 5, pool);
+  EXPECT_EQ(max_abs_diff_lower<double>(s_par.const_view(), s_ref.const_view()), 0.0);
+}
+
+}  // namespace
+}  // namespace atalib

@@ -6,6 +6,11 @@
 // --scale so a laptop-class machine finishes in seconds; pass --scale 4 or
 // more to push toward the asymptotic regime on bigger hardware.
 
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,7 +27,89 @@ inline void add_common_flags(CliFlags& flags) {
   flags.add_double("scale", 1.0, "size multiplier vs the built-in laptop defaults");
   flags.add_int("reps", 2, "timing repetitions (min is reported)");
   flags.add_int("base-elements", 0, "AtA/Strassen base-case threshold (0 = probe cache)");
+  flags.add_string("json", "", "also write results as a JSON array to this path (\"\" = off)");
 }
+
+/// Machine-readable bench output: a JSON array of flat objects, one per
+/// measured configuration, written next to the human table so the
+/// BENCH_*.json perf trajectory can diff runs across commits. Values are
+/// either numbers (num; non-finite doubles become null) or strings (str,
+/// escaped); keys must be plain identifiers.
+class JsonWriter {
+ public:
+  /// Empty path disables the writer; add()/flush() become no-ops.
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  class Record {
+   public:
+    Record& num(const char* key, double v) {
+      if (!std::isfinite(v)) return raw(key, "null");  // JSON has no nan/inf
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      return raw(key, buf);
+    }
+    Record& num(const char* key, std::uint64_t v) { return raw(key, std::to_string(v)); }
+    Record& num(const char* key, int v) { return raw(key, std::to_string(v)); }
+    Record& str(const char* key, const std::string& v) {
+      std::string quoted = "\"";
+      for (char c : v) {
+        if (c == '"' || c == '\\') {
+          quoted += '\\';
+          quoted += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          quoted += buf;
+        } else {
+          quoted += c;
+        }
+      }
+      quoted += '"';
+      return raw(key, quoted);
+    }
+
+   private:
+    friend class JsonWriter;
+    Record& raw(const char* key, const std::string& rendered) {
+      if (!first_) os_ << ", ";
+      first_ = false;
+      os_ << "\"" << key << "\": " << rendered;
+      return *this;
+    }
+    std::ostringstream os_;
+    bool first_ = true;
+  };
+
+  /// Append one object. No-op when disabled.
+  void add(const Record& r) {
+    if (!enabled()) return;
+    if (count_++ > 0) rows_ << ",\n";
+    rows_ << "  {" << r.os_.str() << "}";
+  }
+
+  /// Write the array and report the path on stdout. Returns false (with a
+  /// stderr message) if the file could not be written, so callers can
+  /// propagate a nonzero exit; no-op true when disabled.
+  bool flush() const {
+    if (!enabled()) return true;
+    std::ofstream out(path_);
+    out << "[\n" << rows_.str() << "\n]\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error: could not write JSON output to %s\n", path_.c_str());
+      return false;
+    }
+    std::printf("wrote %d JSON records to %s\n", count_, path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::ostringstream rows_;
+  int count_ = 0;
+};
 
 inline RecurseOptions recurse_from_flags(const CliFlags& flags) {
   RecurseOptions opts;

@@ -1,0 +1,35 @@
+#pragma once
+// AtA-D (Algorithm 4, §4.1): distributed lower(C) = alpha * A^T A over P
+// simulated message-passing processes.
+//
+// Three phases, all driven by the communication-free task tree that every
+// process builds identically (sched::build_dist_tree):
+//   1. distribute — pre-order: each node's process sends every off-chain
+//      child the A blocks its subtree needs (root process owns A);
+//   2. compute — each process runs its leaf multiplication(s) through the
+//      shared leaf substrate (parallel/leaf_exec.hpp) on its rank-pool
+//      Workspace arena;
+//   3. retrieve — post-order gather-and-sum: children send partial C
+//      blocks up (symmetric partials as packed lower triangles, §4.3.1);
+//      a process's own chain accumulates in place in one entry-region
+//      buffer, so the root's final assembly is part of the same sweep.
+// Every message and word is counted exactly (DistResult::traffic), which
+// is what the Prop. 4.2 bench checks against the closed forms.
+
+#include "dist/options.hpp"
+#include "dist/result.hpp"
+
+namespace atalib::dist {
+
+/// Compute lower(C) = alpha * A^T A on opts.procs simulated processes.
+/// A is m x n; the result's strict upper triangle is zero (never written).
+/// Throws std::invalid_argument on invalid options (see validate()).
+template <typename T>
+DistResult<T> ata_dist(T alpha, const Matrix<T>& a, const DistOptions& opts);
+
+extern template DistResult<float> ata_dist<float>(float, const Matrix<float>&,
+                                                  const DistOptions&);
+extern template DistResult<double> ata_dist<double>(double, const Matrix<double>&,
+                                                    const DistOptions&);
+
+}  // namespace atalib::dist

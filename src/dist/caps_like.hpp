@@ -1,0 +1,30 @@
+#pragma once
+// CAPS-like comparator: Communication-Avoiding Parallel Strassen for
+// square C = X * Y (Fig. 6 "CAPS" curves; the paper runs it only on the
+// square shapes).
+//
+// CAPS alternates BFS steps (all 7 Strassen sub-products proceed in
+// parallel on 1/7 of the processes each) with DFS steps (everyone works on
+// one sub-product). This comparator takes l = floor(log_7 P) BFS steps —
+// the communication-minimal regime CAPS is known for — then finishes each
+// sub-product locally with the blocked cubic kernel. Odd dimensions are
+// zero-padded per level (never materialized wider than one level's
+// operands). DistResult::levels reports l; with P = 49 that is the paper's
+// two-BFS-level configuration.
+
+#include "dist/result.hpp"
+
+namespace atalib::dist {
+
+/// C = X * Y for square X, Y on `procs` processes. Throws
+/// std::invalid_argument unless X and Y are square with equal dimension
+/// and procs >= 1.
+template <typename T>
+DistResult<T> caps_like_mm(const Matrix<T>& x, const Matrix<T>& y, int procs);
+
+extern template DistResult<float> caps_like_mm<float>(const Matrix<float>&,
+                                                      const Matrix<float>&, int);
+extern template DistResult<double> caps_like_mm<double>(const Matrix<double>&,
+                                                        const Matrix<double>&, int);
+
+}  // namespace atalib::dist

@@ -1,0 +1,39 @@
+#pragma once
+// COSMA-like comparator: communication-optimal A^T B on a process grid
+// chosen by a volume model (Fig. 6 "COSMA" curves).
+//
+// COSMA's core idea is to derive the process decomposition from the
+// communication-volume optimum rather than a fixed square grid. The
+// comparator keeps that decision structure in miniature: cosma_pick_grid
+// minimizes the modeled replication volume m(pc*n + pr*k) over all pr*pc
+// factorizations, so tall-skinny products split the long dimension (the
+// case COSMA wins on) while square products get the square grid; each
+// process then owns one C tile and computes it with the blocked cubic
+// kernel from a full-height A column panel and B column panel.
+
+#include "dist/result.hpp"
+
+namespace atalib::dist {
+
+/// A pr x pc process grid: pr groups over C's rows (A^T B's n dimension),
+/// pc groups over C's columns (the k dimension). pr * pc == procs.
+struct CosmaGrid {
+  int pr = 1;
+  int pc = 1;
+};
+
+/// Pick the grid minimizing the modeled communication volume for the
+/// m x n (A) by m x k (B) product on `procs` processes.
+CosmaGrid cosma_pick_grid(index_t m, index_t n, index_t k, int procs);
+
+/// C = alpha * A^T B (A m x n, B m x k, C n x k) on `procs` processes.
+/// Throws std::invalid_argument if procs < 1 or the row counts differ.
+template <typename T>
+DistResult<T> cosma_like_gemm(T alpha, const Matrix<T>& a, const Matrix<T>& b, int procs);
+
+extern template DistResult<float> cosma_like_gemm<float>(float, const Matrix<float>&,
+                                                         const Matrix<float>&, int);
+extern template DistResult<double> cosma_like_gemm<double>(double, const Matrix<double>&,
+                                                           const Matrix<double>&, int);
+
+}  // namespace atalib::dist

@@ -1,0 +1,48 @@
+#include "dist/rank_pool.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "runtime/thread_pool.hpp"
+
+namespace atalib::dist {
+namespace {
+
+std::mutex& pool_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// The pool itself, created lazily and regrown (recreated) when a larger
+/// rank count arrives. Guarded by pool_mu(): recreation must not race a
+/// batch, which is why the lease holds the mutex for its whole lifetime.
+std::unique_ptr<runtime::ThreadPool>& pool_slot() {
+  static std::unique_ptr<runtime::ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+RankPoolLease::RankPoolLease(int ranks) {
+  if (ranks < 1) throw std::invalid_argument("RankPoolLease needs >= 1 rank");
+  // Refuse nested acquisition BEFORE touching the mutex: a distributed
+  // entry point called from inside an executor task (including another
+  // run's rank body, which holds this very lease) would self-deadlock on
+  // pool_mu, and even if it didn't, a nested batch executes inline-serial.
+  if (runtime::ThreadPool::current_thread_in_task()) {
+    throw std::logic_error(
+        "distributed entry points cannot run inside an executor task (the "
+        "rank-pool lease is held by the enclosing run, and a nested batch "
+        "would execute inline-serial)");
+  }
+  lock_ = std::unique_lock<std::mutex>(pool_mu());
+  auto& pool = pool_slot();
+  if (!pool || pool->concurrency() < ranks) {
+    pool.reset();  // join the old workers before spawning the wider pool
+    pool = std::make_unique<runtime::ThreadPool>(ranks);
+  }
+}
+
+runtime::Executor& RankPoolLease::executor() { return *pool_slot(); }
+
+}  // namespace atalib::dist

@@ -1,0 +1,51 @@
+#pragma once
+// Result envelope shared by AtA-D and the distributed comparators.
+//
+// Every distributed algorithm in dist/ returns the product plus the two
+// quantities the paper's analysis is about: exact communication counts
+// (mpisim counts every message and word, so Prop. 4.2 is checked against
+// measured traffic, not inferred from timings) and the critical path (the
+// busiest rank's CPU time, which is what a real cluster's wall clock
+// tracks once communication overlaps compute).
+
+#include <algorithm>
+#include <vector>
+
+#include "matrix/matrix.hpp"
+#include "mpisim/stats.hpp"
+
+namespace atalib::dist {
+
+/// Exact per-rank communication accounting (the mpisim counters):
+/// total_messages()/total_words() for volume, root_messages()/root_words()
+/// for the paper's critical path through the root process.
+using Traffic = mpisim::TrafficSnapshot;
+
+template <typename T>
+struct DistResult {
+  Matrix<T> c;          ///< the product (lower triangle for A^T A-type)
+  double seconds = 0;   ///< wall time of the whole distribute-compute-retrieve run
+  Traffic traffic;      ///< exact message/word counts per rank
+
+  /// Per-rank busy CPU seconds (CLOCK_THREAD_CPUTIME_ID: recv waits do not
+  /// count). Indexed by rank; sized to the *requested* process count, with
+  /// ranks the schedule could not use left at zero.
+  std::vector<double> rank_busy_seconds;
+
+  /// Largest per-leaf multiplication count in the schedule (AtA-D only).
+  double max_leaf_flops = 0;
+
+  /// Parallel levels actually built: task-tree depth for AtA-D (compare
+  /// sched::paper_levels_dist), BFS Strassen levels for CAPS-like.
+  int levels = 0;
+
+  /// The busiest rank's busy time — the simulated cluster's compute-bound
+  /// wall clock.
+  double critical_path_seconds() const {
+    double worst = 0;
+    for (double s : rank_busy_seconds) worst = std::max(worst, s);
+    return worst;
+  }
+};
+
+}  // namespace atalib::dist

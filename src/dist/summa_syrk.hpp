@@ -1,0 +1,27 @@
+#pragma once
+// pdsyrk-like comparator: the classical distributed A^T A the paper
+// benchmarks AtA-D against (Fig. 6 "pdsyrk" curves).
+//
+// ScaLAPACK's pdsyrk pipelines rank-k panel updates over a process grid;
+// on a simulated cluster the equivalent communication/compute structure is
+// the 1-D row-panel reduce formulation implemented here: the root scatters
+// P row panels of A, every process computes its full lower-triangular
+// contribution A_p^T A_p with the blocked cubic kernel, and the root
+// reduces the P packed lower triangles. Communication is O(mn + P n^2/2)
+// words with no Strassen savings — exactly the baseline trade-off AtA-D
+// is designed to beat.
+
+#include "dist/result.hpp"
+
+namespace atalib::dist {
+
+/// lower(C) = alpha * A^T A over `procs` simulated processes (clamped to
+/// the row count — a panel needs at least one row). Throws
+/// std::invalid_argument if procs < 1.
+template <typename T>
+DistResult<T> summa_syrk(T alpha, const Matrix<T>& a, int procs);
+
+extern template DistResult<float> summa_syrk<float>(float, const Matrix<float>&, int);
+extern template DistResult<double> summa_syrk<double>(double, const Matrix<double>&, int);
+
+}  // namespace atalib::dist

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "runtime/thread_pool.hpp"
+
 namespace atalib::mpisim {
 
 void Mailbox::push(Message msg) {
@@ -16,6 +18,7 @@ void Mailbox::push(Message msg) {
 Message Mailbox::pop_match(int source, int tag) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    if (poisoned_) throw AbortedError{};
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (it->source == source && it->tag == tag) {
         Message msg = std::move(*it);
@@ -25,6 +28,14 @@ Message Mailbox::pop_match(int source, int tag) {
     }
     cv_.wait(lock);
   }
+}
+
+void Mailbox::poison() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
 }
 
 Communicator::Communicator(int size)
@@ -48,24 +59,88 @@ Message Communicator::recv_bytes(int self, int source, int tag, std::size_t elem
   return msg;
 }
 
+namespace {
+
+/// First-failure collector that prefers a rank's real exception over the
+/// secondary AbortedErrors its failure triggers in peers (the abort races
+/// the original store, so preference — not order — decides).
+struct FirstError {
+  std::mutex mu;
+  std::exception_ptr error;
+  bool aborted = false;
+
+  void capture() {
+    try {
+      throw;
+    } catch (const AbortedError&) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!error) {
+        error = std::current_exception();
+        aborted = true;
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!error || aborted) {
+        error = std::current_exception();
+        aborted = false;
+      }
+    }
+  }
+
+  void rethrow_if_set() {
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+}  // namespace
+
 void Communicator::run(const std::function<void(RankCtx&)>& fn) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size_));
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  FirstError first;
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r] {
       RankCtx ctx(*this, r);
       try {
-        fn(ctx);
+        guarded_rank([&] { fn(ctx); });
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
+        first.capture();
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  first.rethrow_if_set();
+}
+
+void Communicator::run_on(runtime::Executor& exec,
+                          const std::function<void(RankCtx&, runtime::TaskContext&)>& fn) {
+  if (exec.concurrency() < size_) {
+    throw std::logic_error(
+        "Communicator::run_on: executor has fewer slots than ranks; blocking "
+        "rank bodies would deadlock");
+  }
+  if (size_ > 1 && runtime::ThreadPool::current_thread_in_task()) {
+    throw std::logic_error(
+        "Communicator::run_on: called from inside an executor task; a nested "
+        "submission executes inline-serial and blocking rank bodies would "
+        "deadlock");
+  }
+  // Failures are collected here, not left to the executor: the executor
+  // would keep whichever exception landed first, which can be a secondary
+  // AbortedError rather than the rank failure that caused it.
+  FirstError first;
+  exec.run(
+      size_,
+      [&](int task, runtime::TaskContext& tctx) {
+        RankCtx ctx(*this, task);
+        try {
+          guarded_rank([&] { fn(ctx, tctx); });
+        } catch (...) {
+          first.capture();
+        }
+      },
+      size_);
+  first.rethrow_if_set();
 }
 
 }  // namespace atalib::mpisim

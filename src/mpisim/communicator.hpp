@@ -17,9 +17,11 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "mpisim/stats.hpp"
+#include "runtime/executor.hpp"
 
 namespace atalib::mpisim {
 
@@ -30,17 +32,29 @@ struct Message {
   std::vector<unsigned char> bytes;
 };
 
+/// Thrown out of a blocked recv when a peer rank failed and the
+/// communicator aborted the run (see Communicator::run). Catch-and-ignore
+/// is wrong — the original failure is rethrown to the run's caller.
+struct AbortedError : std::runtime_error {
+  AbortedError() : std::runtime_error("mpisim: communicator aborted after a rank failure") {}
+};
+
 /// One rank's incoming queue.
 class Mailbox {
  public:
   void push(Message msg);
   /// Blocking receive of the first message matching (source, tag).
+  /// Throws AbortedError once the mailbox is poisoned.
   Message pop_match(int source, int tag);
+  /// Poison the mailbox: wake every blocked pop_match and make it (and
+  /// all future ones) throw AbortedError.
+  void poison();
 
  private:
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  bool poisoned_ = false;
 };
 
 class Communicator;
@@ -84,8 +98,23 @@ class Communicator {
   int size() const { return size_; }
   TrafficSnapshot traffic() const { return stats_.snapshot(); }
 
-  /// Run `fn(ctx)` on every rank (one thread per rank) and join.
+  /// Run `fn(ctx)` on every rank (one thread per rank) and join. If any
+  /// rank throws, every mailbox is poisoned so peers blocked in recv wake
+  /// with AbortedError instead of hanging, and the *first* failure (never
+  /// the secondary AbortedErrors) is rethrown here.
   void run(const std::function<void(RankCtx&)>& fn);
+
+  /// Run every rank as one batch on a runtime::Executor instead of
+  /// spawning fresh threads: rank r executes as task r and additionally
+  /// receives its slot's TaskContext (reusable Workspace arena). Rank
+  /// bodies BLOCK on recv, so the executor must guarantee one concurrent
+  /// slot per rank; `exec.concurrency() >= size()` is required (throws
+  /// std::logic_error otherwise) and only executors that run a
+  /// <= concurrency() batch fully concurrently are safe — the persistent
+  /// ThreadPool qualifies (see DESIGN.md §3), the fork-join engine's
+  /// OpenMP static schedule does not.
+  void run_on(runtime::Executor& exec,
+              const std::function<void(RankCtx&, runtime::TaskContext&)>& fn);
 
   // Internal transport (used by RankCtx).
   void send_bytes(int source, int dest, int tag, std::vector<unsigned char> bytes,
@@ -93,6 +122,18 @@ class Communicator {
   Message recv_bytes(int self, int source, int tag, std::size_t elem_size);
 
  private:
+  /// Wrap a rank body so any failure poisons all mailboxes (unblocking
+  /// peers) before propagating.
+  template <typename Fn>
+  void guarded_rank(Fn&& fn) {
+    try {
+      fn();
+    } catch (...) {
+      for (Mailbox& mb : mailboxes_) mb.poison();
+      throw;
+    }
+  }
+
   int size_;
   std::vector<Mailbox> mailboxes_;
   TrafficStats stats_;

@@ -3,57 +3,35 @@
 #include <algorithm>
 #include <type_traits>
 
-#include "ata/ata.hpp"
-#include "blas/gemm.hpp"
-#include "blas/syrk.hpp"
 #include "common/timer.hpp"
 #include "runtime/executor.hpp"
 #include "sched/shared_schedule.hpp"
-#include "strassen/strassen.hpp"
-#include "strassen/workspace.hpp"
 
 namespace atalib {
 namespace {
 
+/// Cut the op's global-coordinate blocks out of A/C and hand them to the
+/// shared leaf kernel (parallel/leaf_exec.hpp) — the same code path AtA-D
+/// ranks execute on their received blocks.
 template <typename T>
 void run_op(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const sched::LeafOp& op,
             Arena<T>& arena, const SharedOptions& opts) {
-  if (op.kind == sched::LeafOp::Kind::kSyrk) {
-    auto ab = a.block(op.a.r0, op.a.c0, op.a.rows, op.a.cols);
-    auto cb = c.block(op.c.r0, op.c.c0, op.c.rows, op.c.cols);
-    if (opts.engine == SharedOptions::Engine::kStrassen) {
-      ata(alpha, ab, cb, arena, opts.recurse);
-    } else {
-      blas::syrk_ln(alpha, ab, cb);
-    }
-  } else {
-    auto ab = a.block(op.a.r0, op.a.c0, op.a.rows, op.a.cols);
-    auto bb = a.block(op.b.r0, op.b.c0, op.b.rows, op.b.cols);
-    auto cb = c.block(op.c.r0, op.c.c0, op.c.rows, op.c.cols);
-    if (opts.engine == SharedOptions::Engine::kStrassen) {
-      strassen_tn(alpha, ab, bb, cb, arena, opts.recurse);
-    } else {
-      blas::gemm_tn(alpha, ab, bb, cb);
-    }
+  auto ab = a.block(op.a.r0, op.a.c0, op.a.rows, op.a.cols);
+  auto cb = c.block(op.c.r0, op.c.c0, op.c.rows, op.c.cols);
+  ConstMatrixView<T> bb;
+  if (op.kind == sched::LeafOp::Kind::kGemm) {
+    bb = a.block(op.b.r0, op.b.c0, op.b.rows, op.b.cols);
   }
-}
-
-template <typename T>
-index_t op_workspace(const sched::LeafOp& op, const RecurseOptions& opts) {
-  if (op.kind == sched::LeafOp::Kind::kSyrk) {
-    return ata_workspace_bound(op.a.rows, op.a.cols, opts, sizeof(T));
-  }
-  return strassen_workspace_bound(op.a.rows, op.a.cols, op.b.cols, opts, sizeof(T));
+  run_leaf_kernel(alpha, ab, bb, cb, op.kind, arena, opts.engine, opts.recurse);
 }
 
 /// Workspace elements the largest op of `task` needs (0 for the BLAS
 /// engine, which is allocation-free).
 template <typename T>
 index_t task_workspace(const sched::SharedTask& task, const SharedOptions& opts) {
-  if (opts.engine != SharedOptions::Engine::kStrassen) return 0;
   index_t bound = 0;
   for (const auto& op : task.ops) {
-    bound = std::max(bound, op_workspace<T>(op, opts.recurse));
+    bound = std::max(bound, leaf_op_workspace<T>(op, opts.engine, opts.recurse));
   }
   return bound;
 }

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "parallel/leaf_exec.hpp"
 #include "strassen/options.hpp"
 
 namespace atalib {
@@ -32,8 +33,10 @@ struct SharedOptions {
   RecurseOptions recurse{};
   /// Leaf engine: Strassen-accelerated AtA/FastStrassen (the paper's
   /// AtA-S) or the plain blocked BLAS kernels (the "MKL-style" execution
-  /// used for the Fig. 5 baseline and for AtA-D leaf fallbacks).
-  enum class Engine { kStrassen, kBlas } engine = Engine::kStrassen;
+  /// used for the Fig. 5 baseline and for AtA-D leaf fallbacks). Shared
+  /// with the distributed layer (parallel/leaf_exec.hpp).
+  using Engine = LeafEngine;
+  Engine engine = Engine::kStrassen;
   /// Execution engine; null uses runtime::default_executor().
   runtime::Executor* executor = nullptr;
 };

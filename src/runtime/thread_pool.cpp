@@ -53,6 +53,8 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+bool ThreadPool::current_thread_in_task() { return tl_task_depth > 0 || tl_inline_depth > 0; }
+
 void ThreadPool::worker_main(int slot) {
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lk(mu_);

@@ -17,6 +17,14 @@
 // tasks here are matrix multiplications (micro- to milliseconds), so queue
 // overhead is noise, and the mutex makes the exactly-once pop guarantee
 // trivially auditable (see tests/test_runtime.cpp integrity test).
+//
+// Blocking batches: when ntasks <= concurrency(), every task is guaranteed
+// a slot of its own before any slot takes a second task (block distribution
+// hands slot s task s; a slot only pops/steals after its current task
+// completes). Tasks that block on external events — the mpisim rank bodies
+// submitted via Communicator::run_on — are therefore deadlock-free at that
+// width. The distributed layer's rank pool (src/dist/rank_pool.hpp) relies
+// on this invariant; do not change the distribution scheme without it.
 
 #include <atomic>
 #include <condition_variable>
@@ -57,6 +65,14 @@ class ThreadPool final : public Executor {
   /// The process-wide pool used by default_executor(): hardware-sized,
   /// created on first use, workers persist until exit.
   static ThreadPool& global();
+
+  /// True while the calling thread is executing a pool task or an inline
+  /// batch (of ANY ThreadPool — the depth counters are thread-local, not
+  /// per-pool). A run() issued from such a thread executes inline-serial,
+  /// which breaks the blocking-batch guarantee above; callers that need
+  /// true concurrency (mpisim::Communicator::run_on) use this to refuse
+  /// nested submission instead of deadlocking.
+  static bool current_thread_in_task();
 
   /// Tasks executed by a slot other than their home slot (lifetime total).
   std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }

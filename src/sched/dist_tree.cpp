@@ -194,6 +194,17 @@ std::vector<int> DistTree::postorder() const {
   return order;
 }
 
+std::vector<std::vector<int>> DistTree::rank_chains() const {
+  std::vector<std::vector<int>> chains(static_cast<std::size_t>(used_procs));
+  // Pre-order visits a parent before its children, so each chain is built
+  // top-down (entry first, leaf last).
+  for (int id : preorder()) {
+    const DistNode& n = nodes[static_cast<std::size_t>(id)];
+    if (n.proc >= 0) chains[static_cast<std::size_t>(n.proc)].push_back(id);
+  }
+  return chains;
+}
+
 DistTree build_dist_tree(index_t m, index_t n, int p, double alpha) {
   assert(p >= 1);
   Builder b;

@@ -56,6 +56,14 @@ struct DistTree {
   std::vector<int> preorder() const;
   /// Node indices in post-order (compute + retrieval phase order).
   std::vector<int> postorder() const;
+
+  /// The nodes process p executes, top-down. Because an inner node runs on
+  /// its leftmost leaf's process, each process's nodes form one contiguous
+  /// first-child chain entry -> ... -> leaf: chain.front() is the highest
+  /// node owned by p (the "entry", where p receives its A blocks and sends
+  /// its finished C block; the root for p = 0) and chain.back() is p's
+  /// leaf. Indexed by process id, size used_procs.
+  std::vector<std::vector<int>> rank_chains() const;
 };
 
 /// Build the AtA-D tree for an m x n input, P processes and load-balance

@@ -1,0 +1,63 @@
+// Option validation for the distributed entry points: invalid
+// configurations must fail fast with std::invalid_argument (same throw
+// contract as caps_like_mm's shape check) before any rank starts.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "blas/reference.hpp"
+#include "dist/ata_dist.hpp"
+#include "dist/cosma_like.hpp"
+#include "dist/summa_syrk.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+
+namespace atalib::dist {
+namespace {
+
+TEST(DistOptionsValidation, RejectsNonPositiveProcs) {
+  auto a = random_integer<double>(16, 16, 2, 1);
+  for (int procs : {0, -1, -64}) {
+    DistOptions opts;
+    opts.procs = procs;
+    EXPECT_THROW(ata_dist(1.0, a, opts), std::invalid_argument) << "procs=" << procs;
+  }
+  EXPECT_THROW(summa_syrk(1.0, a, 0), std::invalid_argument);
+  EXPECT_THROW(cosma_like_gemm(1.0, a, a, -2), std::invalid_argument);
+}
+
+TEST(DistOptionsValidation, RejectsAlphaOutsideOpenUnitInterval) {
+  auto a = random_integer<double>(16, 16, 2, 2);
+  for (double alpha : {0.0, 1.0, -0.25, 1.5}) {
+    DistOptions opts;
+    opts.procs = 4;
+    opts.alpha = alpha;
+    EXPECT_THROW(ata_dist(1.0, a, opts), std::invalid_argument) << "alpha=" << alpha;
+  }
+}
+
+TEST(DistOptionsValidation, ExtremeButValidAlphaStillComputesCorrectly) {
+  auto a = random_integer<double>(48, 40, 2, 3);
+  auto c_ref = Matrix<double>::zeros(40, 40);
+  blas::ref::syrk_ln(1.0, a.const_view(), c_ref.view());
+  for (double alpha : {0.01, 0.99}) {
+    DistOptions opts;
+    opts.procs = 6;
+    opts.alpha = alpha;
+    opts.recurse.base_case_elements = 256;
+    opts.recurse.min_dim = 2;
+    const auto res = ata_dist(1.0, a, opts);
+    EXPECT_EQ(max_abs_diff_lower<double>(res.c.const_view(), c_ref.const_view()), 0.0)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(DistOptionsValidation, CosmaRejectsMismatchedRowCounts) {
+  auto a = random_integer<double>(16, 8, 2, 4);
+  auto b = random_integer<double>(12, 8, 2, 5);
+  EXPECT_THROW(cosma_like_gemm(1.0, a, b, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace atalib::dist

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "mpisim/communicator.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace atalib::mpisim {
 namespace {
@@ -105,6 +106,131 @@ TEST(Communicator, ExceptionsPropagateToCaller) {
     // rank 0 does nothing and exits
   }),
                std::runtime_error);
+}
+
+TEST(Communicator, RankFailureUnblocksPeersAndPropagatesOriginalError) {
+  // Rank 1 dies before sending what everyone else is waiting on: the
+  // abort protocol must poison the mailboxes (no hang) and rethrow the
+  // *original* failure, not the secondary AbortedError the peers see.
+  const int p = 6;
+  Communicator comm(p);
+  try {
+    comm.run([](RankCtx& ctx) {
+      if (ctx.rank() == 1) throw std::invalid_argument("rank 1 failed");
+      if (ctx.rank() != 1) ctx.recv<int>(1, 7);  // would block forever without abort
+    });
+    FAIL() << "run() should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "rank 1 failed");
+  }
+}
+
+TEST(Communicator, RankFailureUnblocksPeersUnderRunOn) {
+  const int p = 4;
+  runtime::ThreadPool pool(p);
+  Communicator comm(p);
+  try {
+    comm.run_on(pool, [](RankCtx& ctx, runtime::TaskContext&) {
+      if (ctx.rank() == 2) throw std::invalid_argument("rank 2 failed");
+      ctx.recv<int>(2, 3);
+    });
+    FAIL() << "run_on() should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "rank 2 failed");
+  }
+}
+
+TEST(Communicator, StressManyRanksInterleavedTagMatching) {
+  // The dist workload shape: every rank sends to every other rank several
+  // tagged messages, deliberately posted in an order different from the
+  // receive order, with receive order also scrambled per (source, tag).
+  // Buffered sends make this deadlock-free by construction; the test
+  // asserts full delivery, correct matching, and exact traffic counts.
+  const int p = 24;
+  const int per_pair = 3;
+  Communicator comm(p);
+  comm.run([p](RankCtx& ctx) {
+    const int me = ctx.rank();
+    // Send phase: to each destination, post tags in descending order and
+    // payloads encoding (source, tag) so matching errors are observable.
+    for (int d = 1; d < p; ++d) {
+      const int dest = (me + d) % p;
+      for (int tag = per_pair - 1; tag >= 0; --tag) {
+        // tag also sets the length, so a mismatched pop would fail loudly.
+        std::vector<int> payload(static_cast<std::size_t>(tag + 1), me * 100 + tag);
+        ctx.send(dest, tag, payload.data(), payload.size());
+      }
+    }
+    // Receive phase: iterate sources in a rank-dependent rotation and tags
+    // ascending — interleaved against every sender's descending posts.
+    for (int d = 1; d < p; ++d) {
+      const int src = (me + p - d) % p;
+      for (int tag = 0; tag < per_pair; ++tag) {
+        const auto got = ctx.recv<int>(src, tag);
+        ASSERT_EQ(got.size(), static_cast<std::size_t>(tag + 1));
+        EXPECT_EQ(got.front(), src * 100 + tag);
+      }
+    }
+  });
+  const auto t = comm.traffic();
+  const auto expected_msgs = static_cast<std::uint64_t>(p) * (p - 1) * per_pair;
+  // Each (source, dest) pair carries 1 + 2 + ... + per_pair words.
+  const auto expected_words =
+      static_cast<std::uint64_t>(p) * (p - 1) * (per_pair * (per_pair + 1) / 2);
+  EXPECT_EQ(t.total_messages(), expected_msgs);
+  EXPECT_EQ(t.total_words(), expected_words);
+  std::uint64_t received_msgs = 0, received_words = 0;
+  for (int r = 0; r < p; ++r) {
+    received_msgs += t.messages_received[static_cast<std::size_t>(r)];
+    received_words += t.words_received[static_cast<std::size_t>(r)];
+  }
+  EXPECT_EQ(received_msgs, expected_msgs);  // nothing left undelivered
+  EXPECT_EQ(received_words, expected_words);
+}
+
+TEST(Communicator, RunOnExecutorMatchesThreadRun) {
+  // run_on executes ranks as a ThreadPool batch; the protocol result and
+  // traffic must be identical to the thread-per-rank run(), and each rank
+  // must get a usable per-slot workspace.
+  const int p = 8;
+  runtime::ThreadPool pool(p);
+  Communicator comm(p);
+  comm.run_on(pool, [p](RankCtx& ctx, runtime::TaskContext& tctx) {
+    Arena<double>& arena = tctx.arena<double>(64);
+    double* slot = arena.allocate(1);
+    *slot = ctx.rank();
+    if (ctx.rank() == 0) {
+      double sum = 0;
+      for (int src = 1; src < p; ++src) sum += ctx.recv_value<double>(src, 9);
+      EXPECT_DOUBLE_EQ(sum, p * (p - 1) / 2.0);
+    } else {
+      ctx.send_value<double>(0, 9, *slot);
+    }
+  });
+  EXPECT_EQ(comm.traffic().total_messages(), static_cast<std::uint64_t>(p - 1));
+}
+
+TEST(Communicator, RunOnRejectsNarrowExecutor) {
+  // Rank bodies block on recv; an executor with fewer slots than ranks
+  // would deadlock, so run_on must refuse it up front.
+  runtime::ThreadPool pool(2);
+  Communicator comm(3);
+  EXPECT_THROW(comm.run_on(pool, [](RankCtx&, runtime::TaskContext&) {}), std::logic_error);
+}
+
+TEST(Communicator, RunOnRejectsNestedSubmission) {
+  // From inside a pool task a nested run() executes inline-serial, which
+  // would deadlock a multi-rank protocol — run_on must throw instead.
+  runtime::ThreadPool outer(2);
+  runtime::ThreadPool wide(4);
+  Communicator comm(2);
+  EXPECT_THROW(outer.run(2,
+                         [&](int t, runtime::TaskContext&) {
+                           if (t == 0) {
+                             comm.run_on(wide, [](RankCtx&, runtime::TaskContext&) {});
+                           }
+                         }),
+               std::logic_error);
 }
 
 TEST(Communicator, LargePayloadIntegrity) {

@@ -1,0 +1,162 @@
+// Serving throughput through the cached-plan front-end (api::Server).
+//
+// The ROADMAP's serving workload is "the same Gram matrix shapes, over and
+// over, from many clients". This bench measures what the plan/execute
+// split buys there: cold requests pay schedule building + workspace growth
+// once per shape; warm requests are a plan-cache hit plus a queued pool
+// batch — zero replanning, zero slab allocation. Three phases:
+//   cold   — first request per shape on a fresh Server (plan build in path)
+//   warm   — single client, closed loop over cached shapes
+//   scale  — C client threads, closed loop each, C in {1, 2, 4, ...}
+// Each phase reports requests/sec and per-request latency; --json appends
+// BENCH_serve.json records for the perf trajectory.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/server.hpp"
+#include "ata/ata.hpp"
+#include "bench_common.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/matrix.hpp"
+
+namespace {
+
+using namespace atalib;
+
+struct Shape {
+  index_t m, n;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  bench::add_common_flags(flags);
+  flags.add_int("threads", 4, "server pool slots");
+  flags.add_int("requests", 32, "warm requests per client per shape sweep");
+  flags.add_int("max-clients", 4, "concurrent-client scaling sweeps 1,2,..,max");
+  if (!flags.parse(argc, argv)) return 1;
+  const double scale = flags.get_double("scale");
+  const int threads = std::max(1, static_cast<int>(flags.get_int("threads")));
+  const int requests = std::max(1, static_cast<int>(flags.get_int("requests")));
+  const int max_clients = std::max(1, static_cast<int>(flags.get_int("max-clients")));
+  bench::JsonWriter json(flags.get_string("json"));
+
+  bench::print_banner("Cached-plan serving throughput (api::Server)",
+                      "serving front-end (post-paper engineering; not a paper figure)");
+
+  const Shape shapes[] = {{bench::scaled(512, scale), bench::scaled(384, scale)},
+                          {bench::scaled(384, scale), bench::scaled(320, scale)}};
+  constexpr int kShapes = static_cast<int>(sizeof(shapes) / sizeof(shapes[0]));
+
+  SharedOptions sopts;
+  sopts.threads = threads;
+  sopts.oversub = 2;
+  sopts.recurse = bench::recurse_from_flags(flags);
+
+  api::Server server(api::Server::Options{threads, 16});
+
+  // Correctness spot check once, against the serial recursion.
+  {
+    const auto a = random_uniform<double>(shapes[0].m, shapes[0].n, 11);
+    auto c_ref = Matrix<double>::zeros(shapes[0].n, shapes[0].n);
+    ata(1.0, a.const_view(), c_ref.view(), sopts.recurse);
+    auto c = Matrix<double>::zeros(shapes[0].n, shapes[0].n);
+    api::Server check_server(api::Server::Options{threads, 16});
+    check_server.submit(1.0, a.const_view(), c.view(), sopts).get();
+    if (max_abs_diff_lower<double>(c.const_view(), c_ref.const_view()) != 0.0) {
+      std::fprintf(stderr, "error: served result differs from serial execution\n");
+      return 1;
+    }
+  }
+
+  std::vector<Matrix<double>> inputs;
+  for (const auto& shape : shapes) {
+    inputs.push_back(random_uniform<double>(shape.m, shape.n, 21));
+  }
+
+  Table table("Serving throughput, pool=" + std::to_string(threads) + " slots, " +
+              std::to_string(kShapes) + " shapes, " + std::to_string(requests) +
+              " reqs/client");
+  table.set_header({"phase", "clients", "requests", "req/s", "mean ms/req", "cache hits",
+                    "cache misses"});
+
+  auto add_row = [&](const std::string& phase, int clients, int nreq, double seconds) {
+    const auto stats = server.plan_stats();
+    const double rps = static_cast<double>(nreq) / seconds;
+    const double mean_ms = seconds / nreq * 1e3;
+    table.add_row({phase, std::to_string(clients), std::to_string(nreq),
+                   Table::num(rps, 1), Table::num(mean_ms, 3),
+                   std::to_string(stats.hits), std::to_string(stats.misses)});
+    bench::JsonWriter::Record rec;
+    rec.str("phase", phase)
+        .num("clients", clients)
+        .num("requests", nreq)
+        .num("req_per_sec", rps)
+        .num("mean_ms", mean_ms)
+        .num("cache_hits", stats.hits)
+        .num("cache_misses", stats.misses)
+        .num("pool_threads", threads);
+    json.add(rec);
+  };
+
+  // --- Phase 1: cold — the first request per shape builds its plan.
+  {
+    Timer t;
+    for (int s = 0; s < kShapes; ++s) {
+      auto c = Matrix<double>::zeros(shapes[s].n, shapes[s].n);
+      server.submit(1.0, inputs[static_cast<std::size_t>(s)].const_view(), c.view(), sopts)
+          .get();
+    }
+    add_row("cold", 1, kShapes, t.seconds());
+  }
+
+  // --- Phase 2: warm single client — every request is a plan-cache hit.
+  {
+    auto c0 = Matrix<double>::zeros(shapes[0].n, shapes[0].n);
+    auto c1 = Matrix<double>::zeros(shapes[1].n, shapes[1].n);
+    MatrixView<double> outs[] = {c0.view(), c1.view()};
+    Timer t;
+    for (int r = 0; r < requests; ++r) {
+      const int s = r % kShapes;
+      server
+          .submit(1.0, inputs[static_cast<std::size_t>(s)].const_view(),
+                  outs[static_cast<std::size_t>(s)], sopts)
+          .get();
+    }
+    add_row("warm", 1, requests, t.seconds());
+  }
+
+  // --- Phase 3: concurrent-client scaling, closed loop per client.
+  for (int clients = 1; clients <= max_clients; clients *= 2) {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(clients));
+    Timer t;
+    for (int cl = 0; cl < clients; ++cl) {
+      workers.emplace_back([&, cl] {
+        // Per-client outputs: in-flight requests must not share C.
+        std::vector<Matrix<double>> outs;
+        for (const auto& shape : shapes) {
+          outs.push_back(Matrix<double>::zeros(shape.n, shape.n));
+        }
+        for (int r = 0; r < requests; ++r) {
+          const std::size_t s = static_cast<std::size_t>((r + cl) % kShapes);
+          server.submit(1.0, inputs[s].const_view(), outs[s].view(), sopts).get();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    add_row("scale", clients, clients * requests, t.seconds());
+  }
+
+  table.print();
+  const auto stats = server.plan_stats();
+  std::printf("check: plan-cache misses = %llu (want %d: one per shape; every other "
+              "request replans nothing)\n",
+              static_cast<unsigned long long>(stats.misses), kShapes);
+  if (!json.flush()) return 1;
+  return stats.misses == static_cast<std::uint64_t>(kShapes) ? 0 : 1;
+}

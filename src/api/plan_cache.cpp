@@ -1,0 +1,105 @@
+#include "api/plan_cache.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace atalib::api {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+PlanCache& PlanCache::global() {
+  static PlanCache cache;
+  return cache;
+}
+
+std::shared_ptr<const AtaPlan> PlanCache::get_or_build(const PlanKey& key) {
+  Future fut;
+  // Deferred: the hot hit path must not pay the promise's shared-state
+  // allocation — it is only materialized on a miss.
+  std::optional<std::promise<std::shared_ptr<const AtaPlan>>> prom;
+  std::uint64_t my_id = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // promote to MRU
+      fut = it->second.plan;
+    } else {
+      ++misses_;
+      my_id = ++next_id_;
+      prom.emplace();
+      fut = prom->get_future().share();
+      lru_.push_front(key);
+      map_.emplace(key, Entry{fut, lru_.begin(), my_id});
+      while (map_.size() > capacity_) {
+        // Evict the coldest entry whose build has completed. An in-flight
+        // entry must survive — dropping it would let a concurrent request
+        // for the same key start a duplicate build, breaking the
+        // build-exactly-once guarantee. The map may therefore exceed
+        // capacity transiently, by at most the number of concurrent cold
+        // builds; the next miss retries the eviction.
+        auto victim = lru_.end();
+        for (auto it = std::prev(lru_.end());; --it) {
+          if (map_.find(*it)->second.ready) {
+            victim = it;
+            break;
+          }
+          if (it == lru_.begin()) break;
+        }
+        if (victim == lru_.end()) break;  // every entry still building
+        map_.erase(*victim);
+        lru_.erase(victim);
+        ++evictions_;
+      }
+    }
+  }
+  if (prom) {
+    try {
+      prom->set_value(AtaPlan::build(key));
+      // Mark the entry evictable (unless eviction already dropped it or a
+      // later build re-inserted the key).
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = map_.find(key);
+      if (it != map_.end() && it->second.id == my_id) it->second.ready = true;
+    } catch (...) {
+      {
+        // Forget the failed entry (unless eviction already dropped it or a
+        // later build re-inserted the key) so the next request retries.
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = map_.find(key);
+        if (it != map_.end() && it->second.id == my_id) {
+          lru_.erase(it->second.lru_it);
+          map_.erase(it);
+        }
+      }
+      prom->set_exception(std::current_exception());
+    }
+  }
+  return fut.get();  // blocks on a concurrent builder; rethrows build errors
+}
+
+bool PlanCache::contains(const PlanKey& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.find(key) != map_.end();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  PlanCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = map_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace atalib::api

@@ -1,0 +1,56 @@
+#include "api/server.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "api/execute.hpp"
+
+namespace atalib::api {
+
+Server::Server(const Options& opts) : cache_(opts.plan_capacity), pool_(opts.threads) {}
+
+template <typename T>
+std::future<void> Server::submit(T alpha, ConstMatrixView<T> a, MatrixView<T> c,
+                                 SharedOptions opts) {
+  opts.executor = nullptr;  // requests always execute on the server's pool
+  validate(opts);
+  // Reject a mismatched C before touching the cache: the check needs no
+  // plan, and a rejected request must not pay a schedule build or insert
+  // an entry that could evict a plan warm traffic is using.
+  if (c.rows != a.cols || c.cols != a.cols) {
+    throw std::invalid_argument("Server::submit: C must be n x n = " +
+                                std::to_string(a.cols) + "^2, got " + std::to_string(c.rows) +
+                                "x" + std::to_string(c.cols));
+  }
+  std::shared_ptr<const AtaPlan> plan =
+      cache_.get_or_build(shared_plan_key(dtype_of<T>(), a.rows, a.cols, opts));
+  check_shared(*plan, a, c);
+  warm_for(*plan, pool_);
+  const int ntasks = static_cast<int>(plan->schedule().tasks.size());
+  // The batch owns the plan (an eviction must not pull the schedule out
+  // from under in-flight tasks) and captures the views by value; the
+  // caller's buffers must outlive the future per the submit() contract.
+  return pool_.submit(ntasks, [plan, alpha, a, c](int t, runtime::TaskContext& ctx) {
+    run_plan_task(*plan, t, alpha, a, c, ctx);
+  });
+}
+
+template <typename T>
+std::future<void> Server::submit(T alpha, ConstMatrixView<T> a, MatrixView<T> c) {
+  SharedOptions opts;
+  opts.threads = pool_.concurrency();
+  opts.oversub = 2;
+  return submit(alpha, a, c, opts);
+}
+
+#define ATALIB_API_SERVER_INST(T)                                                      \
+  template std::future<void> Server::submit<T>(T, ConstMatrixView<T>, MatrixView<T>,   \
+                                               SharedOptions);                         \
+  template std::future<void> Server::submit<T>(T, ConstMatrixView<T>, MatrixView<T>)
+ATALIB_API_SERVER_INST(float);
+ATALIB_API_SERVER_INST(double);
+#undef ATALIB_API_SERVER_INST
+
+}  // namespace atalib::api

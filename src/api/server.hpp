@@ -1,0 +1,85 @@
+#pragma once
+// Concurrent serving front-end: the cached-plan request path.
+//
+// A Server owns a plan cache and a multi-batch ThreadPool. submit() admits
+// one lower(C) += alpha * A^T A request: build-or-fetch the plan, warm the
+// pool to the plan's workspace bound, and enqueue the plan's tasks as one
+// pool batch — then return a future. On the *warm* path (shape seen
+// before, workspace bound at or below the pool's warmed mark) submit never
+// blocks on compute: the plan is a cache hit, the warm check is two atomic
+// loads, and the batch is queued without waiting. A *cold* request pays
+// its setup in line: planning once per shape, and — when its workspace
+// bound exceeds the warmed mark — a pool quiescence wait while every slot
+// grows (admissions briefly queue behind that growth; see
+// ThreadPool::warm_workspaces). Multiple client threads submit
+// concurrently and their batches overlap on the pool's workers; the
+// per-slot workspace discipline holds because every task re-requests its
+// arena at body start.
+//
+// The warm serving path therefore performs zero schedule builds and zero
+// workspace slab allocations per request — the compile-once/execute-many
+// amortization the ROADMAP's repeated-traffic north star asks for.
+
+#include <future>
+
+#include "api/plan_cache.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace atalib::api {
+
+class Server {
+ public:
+  struct Options {
+    /// Pool slots (0 = hardware concurrency). Workers = threads - 1; the
+    /// warm serving path never blocks a client thread on compute.
+    int threads = 0;
+    /// LRU capacity of the plan cache (plans, not bytes).
+    std::size_t plan_capacity = PlanCache::kDefaultCapacity;
+  };
+
+  Server() : Server(Options{}) {}
+  explicit Server(const Options& opts);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Destruction requires every submitted future to be ready (clients own
+  /// the a/c buffers, so an abandoned in-flight request would also be a
+  /// use-after-free on their side).
+  ~Server() = default;
+
+  /// Admit one request. `a` and `c` must stay valid until the returned
+  /// future is ready, and `c` must not alias any other in-flight request's
+  /// output. `opts.executor` is ignored (the server's pool executes);
+  /// `opts.threads`/`oversub`/`engine`/`recurse` select the plan. Warm
+  /// requests return without blocking; cold ones pay planning and
+  /// workspace growth in line (see the class comment). Throws
+  /// std::invalid_argument on bad options or shape mismatches before
+  /// anything is enqueued; a task failure surfaces on the future.
+  template <typename T>
+  std::future<void> submit(T alpha, ConstMatrixView<T> a, MatrixView<T> c,
+                           SharedOptions opts);
+
+  /// submit() with defaults: plan width = the pool's concurrency,
+  /// oversub 2 so stealing can rebalance uneven tasks.
+  template <typename T>
+  std::future<void> submit(T alpha, ConstMatrixView<T> a, MatrixView<T> c);
+
+  PlanCacheStats plan_stats() const { return cache_.stats(); }
+  PlanCache& plans() { return cache_; }
+  runtime::ThreadPool& executor() { return pool_; }
+
+ private:
+  PlanCache cache_;
+  runtime::ThreadPool pool_;
+};
+
+#define ATALIB_API_SERVER_EXTERN(T)                                                    \
+  extern template std::future<void> Server::submit<T>(T, ConstMatrixView<T>,           \
+                                                      MatrixView<T>, SharedOptions);   \
+  extern template std::future<void> Server::submit<T>(T, ConstMatrixView<T>, MatrixView<T>)
+ATALIB_API_SERVER_EXTERN(float);
+ATALIB_API_SERVER_EXTERN(double);
+#undef ATALIB_API_SERVER_EXTERN
+
+}  // namespace atalib::api

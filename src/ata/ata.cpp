@@ -66,12 +66,21 @@ void ata(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const RecurseOptions& o
   ata(alpha, a, c, arena, opts);
 }
 
+index_t aat_workspace_bound(index_t m, index_t n, const RecurseOptions& opts,
+                            std::size_t elem_bytes) {
+  return m * n + ata_workspace_bound(n, m, opts, elem_bytes);
+}
+
 template <typename T>
-void aat(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const RecurseOptions& opts) {
+void aat(T alpha, ConstMatrixView<T> a, MatrixView<T> c, Arena<T>& arena,
+         const RecurseOptions& opts) {
   assert(c.rows == a.rows && c.cols == a.rows);
-  // Materialize A^T (n x m) with a cache-blocked transpose, then
-  // AA^T = (A^T)^T (A^T) runs on the fast path.
-  Matrix<T> at(a.cols, a.rows);
+  // Materialize A^T (n x m) with a cache-blocked transpose into the arena
+  // (released on unwind), then AA^T = (A^T)^T (A^T) runs on the fast path
+  // with its Strassen scratch bump-allocated past the transpose.
+  typename Arena<T>::Scope scope(arena);
+  T* buf = arena.allocate(static_cast<std::size_t>(a.rows * a.cols));
+  MatrixView<T> at(buf, a.cols, a.rows, a.rows);
   constexpr index_t kTile = 64;
   for (index_t i0 = 0; i0 < a.rows; i0 += kTile) {
     const index_t i1 = std::min(a.rows, i0 + kTile);
@@ -82,7 +91,14 @@ void aat(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const RecurseOptions& o
       }
     }
   }
-  ata(alpha, at.const_view(), c, opts);
+  ata(alpha, ConstMatrixView<T>(at), c, arena, opts);
+}
+
+template <typename T>
+void aat(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const RecurseOptions& opts) {
+  Arena<T> arena(
+      static_cast<std::size_t>(aat_workspace_bound(a.rows, a.cols, opts, sizeof(T))));
+  aat(alpha, a, c, arena, opts);
 }
 
 template <typename T>
@@ -98,6 +114,8 @@ void ata_naive(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const RecurseOpti
   template void ata<T>(T, ConstMatrixView<T>, MatrixView<T>, Arena<T>&,               \
                        const RecurseOptions&);                                         \
   template void ata<T>(T, ConstMatrixView<T>, MatrixView<T>, const RecurseOptions&);  \
+  template void aat<T>(T, ConstMatrixView<T>, MatrixView<T>, Arena<T>&,               \
+                       const RecurseOptions&);                                        \
   template void aat<T>(T, ConstMatrixView<T>, MatrixView<T>, const RecurseOptions&);  \
   template void ata_naive<T>(T, ConstMatrixView<T>, MatrixView<T>, const RecurseOptions&)
 ATALIB_ATA_INST(float);

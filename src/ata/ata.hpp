@@ -32,9 +32,23 @@ void ata(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const RecurseOptions& o
 /// materializing A^T once (O(mn) time and space, asymptotically free next
 /// to the O(n^log2 7) multiply) and running the cache-friendly A^T A path
 /// on it — the paper's own §3 observation that row-major AA^T is the
-/// *easier* orientation is what makes this transposition affordable.
+/// *easier* orientation is what makes this transposition affordable. The
+/// transpose buffer and the Strassen scratch both come from `arena`
+/// (>= aat_workspace_bound(m, n, ...) free elements), so repeated calls
+/// through a reused arena — e.g. a runtime::Workspace slot — are
+/// malloc-free once warm.
+template <typename T>
+void aat(T alpha, ConstMatrixView<T> a, MatrixView<T> c, Arena<T>& arena,
+         const RecurseOptions& opts = {});
+
+/// Convenience entry: sizes and allocates the workspace, then runs aat().
 template <typename T>
 void aat(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const RecurseOptions& opts = {});
+
+/// Arena elements aat() needs on an m x n input: the materialized A^T
+/// (m*n) plus the A^T A recursion bound on the n x m transpose.
+index_t aat_workspace_bound(index_t m, index_t n, const RecurseOptions& opts,
+                            std::size_t elem_bytes);
 
 /// AtANaive: same AtA recursion but with RecursiveGEMM for the C21 block
 /// instead of Strassen. This is the algorithm whose recursion tree the
@@ -47,6 +61,8 @@ void ata_naive(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const RecurseOpti
   extern template void ata<T>(T, ConstMatrixView<T>, MatrixView<T>, Arena<T>&,            \
                               const RecurseOptions&);                                      \
   extern template void ata<T>(T, ConstMatrixView<T>, MatrixView<T>, const RecurseOptions&); \
+  extern template void aat<T>(T, ConstMatrixView<T>, MatrixView<T>, Arena<T>&,            \
+                              const RecurseOptions&);                                      \
   extern template void aat<T>(T, ConstMatrixView<T>, MatrixView<T>, const RecurseOptions&); \
   extern template void ata_naive<T>(T, ConstMatrixView<T>, MatrixView<T>,                 \
                                     const RecurseOptions&)

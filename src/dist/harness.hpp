@@ -19,8 +19,10 @@ namespace atalib::dist {
 
 /// Run `body(rank_ctx, task_ctx)` on `ranks` simulated processes and fill
 /// `res.traffic`, `res.rank_busy_seconds` (which must be pre-sized; ranks
-/// beyond `ranks` stay zero) and `res.seconds` (from `wall`, started when
-/// the algorithm began — plan building counts toward wall time). Each
+/// beyond `ranks` stay zero) and `res.seconds` (from `wall` — ata_dist
+/// starts it before its plan-cache fetch so cold-call setup counts like
+/// the baselines' in-line setup; api::execute_dist without a caller timer
+/// covers the run only). Each
 /// body is timed with a per-rank ThreadCpuTimer, so blocked recvs do not
 /// inflate the critical path. `warm_float`/`warm_double` pre-grow every
 /// pool slot's arena before the batch (0 = skip).

@@ -37,6 +37,7 @@ inline void validate(const DistOptions& opts) {
     throw std::invalid_argument("DistOptions.alpha must be in (0, 1), got " +
                                 std::to_string(opts.alpha));
   }
+  atalib::validate(opts.recurse, "DistOptions");
 }
 
 }  // namespace atalib::dist

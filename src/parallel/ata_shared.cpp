@@ -1,98 +1,44 @@
 #include "parallel/ata_shared.hpp"
 
-#include <algorithm>
-#include <type_traits>
+#include <stdexcept>
+#include <string>
 
-#include "common/timer.hpp"
-#include "runtime/executor.hpp"
-#include "sched/shared_schedule.hpp"
+#include "api/execute.hpp"
+#include "api/plan_cache.hpp"
 
 namespace atalib {
-namespace {
 
-/// Cut the op's global-coordinate blocks out of A/C and hand them to the
-/// shared leaf kernel (parallel/leaf_exec.hpp) — the same code path AtA-D
-/// ranks execute on their received blocks.
-template <typename T>
-void run_op(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const sched::LeafOp& op,
-            Arena<T>& arena, const SharedOptions& opts) {
-  auto ab = a.block(op.a.r0, op.a.c0, op.a.rows, op.a.cols);
-  auto cb = c.block(op.c.r0, op.c.c0, op.c.rows, op.c.cols);
-  ConstMatrixView<T> bb;
-  if (op.kind == sched::LeafOp::Kind::kGemm) {
-    bb = a.block(op.b.r0, op.b.c0, op.b.rows, op.b.cols);
+void validate(const SharedOptions& opts) {
+  if (opts.threads < 1) {
+    throw std::invalid_argument("SharedOptions.threads must be >= 1, got " +
+                                std::to_string(opts.threads));
   }
-  run_leaf_kernel(alpha, ab, bb, cb, op.kind, arena, opts.engine, opts.recurse);
+  if (opts.oversub < 1) {
+    throw std::invalid_argument("SharedOptions.oversub must be >= 1, got " +
+                                std::to_string(opts.oversub));
+  }
+  validate(opts.recurse, "SharedOptions");
 }
 
-/// Workspace elements the largest op of `task` needs (0 for the BLAS
-/// engine, which is allocation-free).
-template <typename T>
-index_t task_workspace(const sched::SharedTask& task, const SharedOptions& opts) {
-  index_t bound = 0;
-  for (const auto& op : task.ops) {
-    bound = std::max(bound, leaf_op_workspace<T>(op, opts.engine, opts.recurse));
-  }
-  return bound;
-}
-
-}  // namespace
+// Both entry points are thin wrappers over build-or-fetch-plan + execute
+// (api/), so the shared and distributed layers keep one planning path and
+// repeated calls on one shape replan nothing.
 
 template <typename T>
 void ata_shared(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const SharedOptions& opts) {
-  const int p = std::max(1, opts.threads);
-  const auto schedule =
-      sched::build_shared_schedule(a.rows, a.cols, p, std::max(1, opts.oversub));
-  const int ntasks = static_cast<int>(schedule.tasks.size());
-
-  // Every slot's arena is sized to the high-water mark over the whole
-  // schedule, not the task at hand: stealing may route any task to any
-  // slot, and a per-task bound would let a late first-time steal of the
-  // biggest task trigger a malloc on an otherwise warm pool.
-  index_t bound = 0;
-  for (const auto& task : schedule.tasks) {
-    bound = std::max(bound, task_workspace<T>(task, opts));
-  }
-
-  runtime::Executor& exec = opts.executor ? *opts.executor : runtime::default_executor();
-  if (bound > 0) {  // the BLAS engine is allocation-free; nothing to warm
-    if constexpr (std::is_same_v<T, float>) {
-      exec.warm_workspaces(static_cast<std::size_t>(bound), 0);
-    } else {
-      exec.warm_workspaces(0, static_cast<std::size_t>(bound));
-    }
-  }
-  // Width p caps the fork-join engine at the requested thread count; the
-  // pool treats it as advisory (see Executor::run) — its idle workers may
-  // still steal, which is always safe on write-disjoint tasks.
-  exec.run(
-      ntasks,
-      [&](int t, runtime::TaskContext& ctx) {
-        const auto& task = schedule.tasks[static_cast<std::size_t>(t)];
-        Arena<T>& arena = ctx.arena<T>(static_cast<std::size_t>(bound));
-        for (const auto& op : task.ops) run_op(alpha, a, c, op, arena, opts);
-      },
-      p);
+  validate(opts);
+  const auto plan = api::PlanCache::global().get_or_build(
+      api::shared_plan_key(api::dtype_of<T>(), a.rows, a.cols, opts));
+  api::execute(*plan, alpha, a, c, opts.executor);
 }
 
 template <typename T>
 SharedProfile ata_shared_profile(T alpha, ConstMatrixView<T> a, MatrixView<T> c,
                                  const SharedOptions& opts) {
-  const auto schedule = sched::build_shared_schedule(a.rows, a.cols, std::max(1, opts.threads),
-                                                     std::max(1, opts.oversub));
-  runtime::Workspace workspace;  // one reusable arena across all timed tasks
-  SharedProfile profile;
-  for (const auto& task : schedule.tasks) {
-    Arena<T>& arena =
-        workspace.arena<T>(static_cast<std::size_t>(task_workspace<T>(task, opts)));
-    ThreadCpuTimer timer;
-    for (const auto& op : task.ops) run_op(alpha, a, c, op, arena, opts);
-    const double s = timer.seconds();
-    profile.task_seconds.push_back(s);
-    profile.critical_path_seconds = std::max(profile.critical_path_seconds, s);
-    profile.total_seconds += s;
-  }
-  return profile;
+  validate(opts);
+  const auto plan = api::PlanCache::global().get_or_build(
+      api::shared_plan_key(api::dtype_of<T>(), a.rows, a.cols, opts));
+  return api::execute_profile(*plan, alpha, a, c);
 }
 
 template void ata_shared<float>(float, ConstMatrixView<float>, MatrixView<float>,

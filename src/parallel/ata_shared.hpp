@@ -1,8 +1,10 @@
 #pragma once
 // AtA-S (Algorithm 3): shared-memory parallel A^T A.
 //
-// Phase 1 builds the task tree (sched::build_shared_schedule) — P' =
-// oversub * P tasks with pairwise disjoint C writes. Phase 2 submits the
+// Phase 1 fetches the task tree — P' = oversub * P tasks with pairwise
+// disjoint C writes — from the process-wide plan cache (api/plan_cache.hpp;
+// built once per (dtype, m, n, P, oversub, engine, cut-offs) shape via
+// sched::build_shared_schedule). Phase 2 submits the
 // tasks to a runtime::Executor: by default the persistent work-stealing
 // thread pool (runtime/thread_pool.hpp), whose warm workers and reusable
 // per-worker workspace arenas make repeated calls thread-creation- and
@@ -40,6 +42,11 @@ struct SharedOptions {
   /// Execution engine; null uses runtime::default_executor().
   runtime::Executor* executor = nullptr;
 };
+
+/// Validate up front with a clear message (parity with
+/// dist::validate(DistOptions)): throws std::invalid_argument on
+/// threads <= 0, oversub <= 0, or bad recurse cut-offs.
+void validate(const SharedOptions& opts);
 
 /// lower(C) += alpha * A^T A in parallel. A is m x n, C is n x n.
 template <typename T>

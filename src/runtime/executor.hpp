@@ -6,7 +6,10 @@
 // schedulers in sched/ guarantee disjointness), executed by an Executor:
 //
 //   - ThreadPool (thread_pool.hpp): persistent workers, per-worker queues,
-//     work stealing, reusable per-worker workspace arenas. The default.
+//     work stealing, reusable per-worker workspace arenas, and queued
+//     multi-batch admission (overlapping batches from independent client
+//     threads, plus an async submit() used by the api::Server serving
+//     front-end). The default.
 //   - ForkJoinExecutor (below): the paper's original one-shot
 //     `omp parallel for` execution, kept behind the same interface so the
 //     benches can A/B warm-pool against fork-join. Compile with
@@ -63,8 +66,11 @@ class Executor {
   /// Pre-grow every slot's workspace to the given element counts, so a
   /// following run() whose tasks request at most that much performs no
   /// slab allocation on any slot — even one executing its first task ever
-  /// (stealing routes any task to any slot). No-op once warm. Must not
-  /// overlap a run() on the same executor.
+  /// (stealing routes any task to any slot). No-op once warm. The pool
+  /// orders growth against in-flight batches internally (warm requests at
+  /// or below the warmed high-water mark return immediately, larger ones
+  /// wait for quiescence); the fork-join engine serializes against its own
+  /// run() instead.
   virtual void warm_workspaces(std::size_t float_elems, std::size_t double_elems) = 0;
 };
 

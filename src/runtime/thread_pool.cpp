@@ -7,8 +7,8 @@ namespace atalib::runtime {
 namespace {
 
 /// Nesting depth of pool task execution on the current thread. A run()
-/// issued from inside a task must not block on run_mu_ (the outer run()
-/// holds it), so it executes inline instead.
+/// issued from inside a task must not block on its batch (the slot it
+/// occupies may be the only one left), so it executes inline instead.
 thread_local int tl_task_depth = 0;
 
 /// Depth of inline batch execution on the current thread (see run()).
@@ -69,22 +69,37 @@ void ThreadPool::worker_main(int slot) {
 }
 
 void ThreadPool::drain(int slot) {
-  int task = -1;
-  while (try_pop(slot, task) || try_steal(slot, task)) {
-    execute(slot, task);
+  Item item;
+  while (try_pop(slot, item) || try_steal(slot, item)) {
+    execute(slot, std::move(item));
+    item = Item{};
   }
 }
 
-bool ThreadPool::try_pop(int slot, int& task) {
+void ThreadPool::drain_for(int slot, const Batch& batch) {
+  // Like drain(), but stops once `batch` has retired: a run() caller is
+  // glad to help with whatever is queued while its own batch is pending
+  // (including other clients' tasks — that's throughput), but it must not
+  // be conscripted into an unbounded stream of foreign work after its
+  // batch completed.
+  Item item;
+  while (batch.remaining.load(std::memory_order_acquire) != 0 &&
+         (try_pop(slot, item) || try_steal(slot, item))) {
+    execute(slot, std::move(item));
+    item = Item{};
+  }
+}
+
+bool ThreadPool::try_pop(int slot, Item& item) {
   Queue& q = *queues_[static_cast<std::size_t>(slot)];
   std::lock_guard<std::mutex> lk(q.mu);
   if (q.tasks.empty()) return false;
-  task = q.tasks.front();
+  item = std::move(q.tasks.front());
   q.tasks.pop_front();
   return true;
 }
 
-bool ThreadPool::try_steal(int thief, int& task) {
+bool ThreadPool::try_steal(int thief, Item& item) {
   const int n = concurrency();
   for (int d = 1; d < n; ++d) {
     Queue& q = *queues_[static_cast<std::size_t>((thief + d) % n)];
@@ -92,7 +107,7 @@ bool ThreadPool::try_steal(int thief, int& task) {
     if (q.tasks.empty()) continue;
     // Steal from the cold end: the victim pops its own front, so the two
     // ends never contend on the same task under load.
-    task = q.tasks.back();
+    item = std::move(q.tasks.back());
     q.tasks.pop_back();
     steals_.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -100,84 +115,58 @@ bool ThreadPool::try_steal(int thief, int& task) {
   return false;
 }
 
-void ThreadPool::execute(int slot, int task) {
+void ThreadPool::execute(int slot, Item item) {
+  Batch& batch = *item.batch;
   TaskContext ctx;
   ctx.worker = slot;
   ctx.workspace = workspaces_[static_cast<std::size_t>(slot)].get();
   ++tl_task_depth;
   try {
-    (*fn_)(task, ctx);
+    batch.fn(item.task, ctx);
   } catch (...) {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (!first_error_) first_error_ = std::current_exception();
+    std::lock_guard<std::mutex> lk(batch.err_mu);
+    if (!batch.first_error) batch.first_error = std::current_exception();
   }
   --tl_task_depth;
-  finish_one();
-}
-
-void ThreadPool::finish_one() {
-  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    // Lock pairs with the predicate evaluation in run(); without it the
-    // notify could fire between the caller's check and its sleep.
-    std::lock_guard<std::mutex> lk(mu_);
-    done_cv_.notify_all();
-  }
-}
-
-void ThreadPool::warm_workspaces(std::size_t float_elems, std::size_t double_elems) {
-  // From inside a task the slot workspaces belong to the enclosing batch
-  // and the inline workspace may hold a live arena — nothing safe to warm.
-  if (tl_task_depth > 0 || tl_inline_depth > 0) return;
-  {
-    // Workers touch their workspace only while executing a task, and run()
-    // does not return with tasks in flight, so growing from here is safe
-    // between batches; run_mu_ fences off other client threads.
-    std::lock_guard<std::mutex> run_lk(run_mu_);
-    for (auto& ws : workspaces_) ws->warm(float_elems, double_elems);
-  }
-  inline_workspace().warm(float_elems, double_elems);  // width-1 path
-}
-
-void ThreadPool::run(int ntasks, const TaskFn& fn, int width) {
-  if (ntasks <= 0) return;
-  const int nslots = concurrency();
-  if (tl_task_depth > 0 || nslots == 1 || ntasks == 1 || width == 1) {
-    // Inline serial path. The thread-local workspace keeps it warm across
-    // calls; a *nested* inline batch (inside a pool task or another inline
-    // batch) gets a private workspace instead, because the enclosing task
-    // may hold a live arena in the shared one.
-    const bool nested = tl_task_depth > 0 || tl_inline_depth > 0;
-    Workspace local;
-    TaskContext ctx;
-    ctx.worker = 0;
-    ctx.workspace = nested ? &local : &inline_workspace();
-    ++tl_inline_depth;
-    try {
-      for (int t = 0; t < ntasks; ++t) fn(t, ctx);
-    } catch (...) {
-      --tl_inline_depth;
-      throw;
+  if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task: retire the batch. Deregister before fulfilling the
+    // promise so a warm waiting for quiescence and a client waking on the
+    // future observe a consistent order.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --active_batches_;
+      if (active_batches_ == 0 && warm_waiters_ > 0) quiesce_cv_.notify_all();
     }
-    --tl_inline_depth;
-    return;
+    // No task of this batch is running anymore (the acq_rel countdown
+    // orders their error writes before this read).
+    if (batch.first_error) {
+      batch.done.set_exception(batch.first_error);
+    } else {
+      batch.done.set_value();
+    }
   }
+}
 
-  std::lock_guard<std::mutex> run_lk(run_mu_);
-  fn_ = &fn;
-  first_error_ = nullptr;
-  // remaining_ must be published before any queue push: a racing worker
-  // finishing a task it stole mid-setup decrements it immediately.
-  remaining_.store(ntasks, std::memory_order_release);
+std::shared_ptr<ThreadPool::Batch> ThreadPool::enqueue(int ntasks, TaskFn fn, int dist_slots) {
+  auto batch = std::make_shared<Batch>(ntasks, std::move(fn));
+  {
+    // Register before any queue push: a pending warm must either see this
+    // batch as active or admit it only after the warm finished — never
+    // mutate slot workspaces while our tasks are poppable.
+    std::unique_lock<std::mutex> lk(mu_);
+    quiesce_cv_.wait(lk, [&] { return warm_waiters_ == 0; });
+    ++active_batches_;
+  }
   // Block distribution: slot s owns a contiguous chunk of task ids, so the
   // schedule's home-worker hints translate into locality; stealing
   // rebalances from there.
-  for (int s = 0; s < nslots; ++s) {
-    const int lo = static_cast<int>(static_cast<long long>(ntasks) * s / nslots);
-    const int hi = static_cast<int>(static_cast<long long>(ntasks) * (s + 1) / nslots);
+  for (int s = 0; s < dist_slots; ++s) {
+    const int lo = static_cast<int>(static_cast<long long>(ntasks) * s / dist_slots);
+    const int hi = static_cast<int>(static_cast<long long>(ntasks) * (s + 1) / dist_slots);
     if (hi == lo) continue;
     Queue& q = *queues_[static_cast<std::size_t>(s)];
     std::lock_guard<std::mutex> qlk(q.mu);
-    for (int t = lo; t < hi; ++t) q.tasks.push_back(t);
+    for (int t = lo; t < hi; ++t) q.tasks.push_back(Item{batch, t});
   }
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -185,17 +174,101 @@ void ThreadPool::run(int ntasks, const TaskFn& fn, int width) {
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
   work_cv_.notify_all();
+  return batch;
+}
 
-  drain(nslots - 1);  // the caller participates as the last slot
+void ThreadPool::run_inline(int ntasks, const TaskFn& fn) {
+  // The thread-local workspace keeps this path warm across calls; a
+  // *nested* inline batch (inside a pool task or another inline batch)
+  // gets a private workspace instead, because the enclosing task may hold
+  // a live arena in the shared one.
+  const bool nested = tl_task_depth > 0 || tl_inline_depth > 0;
+  Workspace local;
+  TaskContext ctx;
+  ctx.worker = 0;
+  ctx.workspace = nested ? &local : &inline_workspace();
+  ++tl_inline_depth;
+  try {
+    for (int t = 0; t < ntasks; ++t) fn(t, ctx);
+  } catch (...) {
+    --tl_inline_depth;
+    throw;
+  }
+  --tl_inline_depth;
+}
 
-  if (remaining_.load(std::memory_order_acquire) != 0) {
+void ThreadPool::run(int ntasks, const TaskFn& fn, int width) {
+  if (ntasks <= 0) return;
+  const int nslots = concurrency();
+  if (tl_task_depth > 0 || nslots == 1 || ntasks == 1 || width == 1) {
+    run_inline(ntasks, fn);
+    return;
+  }
+  auto batch = enqueue(ntasks, fn, nslots);
+  std::future<void> done = batch->done.get_future();
+  // Participate as the caller slot if no other concurrent caller claimed
+  // it; otherwise just wait (two callers must not share slot workspaces).
+  bool expected = false;
+  if (caller_slot_busy_.compare_exchange_strong(expected, true)) {
+    drain_for(nslots - 1, *batch);
+    caller_slot_busy_.store(false, std::memory_order_release);
+  }
+  done.get();  // waits for stolen stragglers; rethrows the first task error
+}
+
+std::future<void> ThreadPool::submit(int ntasks, TaskFn fn) {
+  std::promise<void> ready;
+  if (ntasks <= 0) {
+    ready.set_value();
+    return ready.get_future();
+  }
+  const int nslots = concurrency();
+  if (tl_task_depth > 0 || tl_inline_depth > 0 || nslots == 1) {
+    // No hand-off possible (workerless pool) or nested in a task: execute
+    // inline now so the returned future can never deadlock a waiter.
+    try {
+      run_inline(ntasks, fn);
+      ready.set_value();
+    } catch (...) {
+      ready.set_exception(std::current_exception());
+    }
+    return ready.get_future();
+  }
+  // Distribute over the worker slots only — nobody drains the caller slot
+  // on this path until a worker steals from it.
+  auto batch = enqueue(ntasks, std::move(fn), nslots - 1);
+  return batch->done.get_future();
+}
+
+void ThreadPool::warm_workspaces(std::size_t float_elems, std::size_t double_elems) {
+  // From inside a task the slot workspaces belong to in-flight batches and
+  // the inline workspace may hold a live arena — nothing safe to warm.
+  if (tl_task_depth > 0 || tl_inline_depth > 0) return;
+  if (float_elems > warmed_float_.load(std::memory_order_acquire) ||
+      double_elems > warmed_double_.load(std::memory_order_acquire)) {
+    // Growth path: wait for the pool to quiesce (new admissions queue
+    // behind warm_waiters_, so this cannot be starved), then grow every
+    // slot. Workers only touch their workspace while executing a task, so
+    // zero active batches means nobody races the growth.
     std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [&] { return remaining_.load(std::memory_order_acquire) == 0; });
+    ++warm_waiters_;
+    quiesce_cv_.wait(lk, [&] { return active_batches_ == 0; });
+    for (auto& ws : workspaces_) ws->warm(float_elems, double_elems);
+    if (float_elems > warmed_float_.load(std::memory_order_relaxed)) {
+      warmed_float_.store(float_elems, std::memory_order_release);
+    }
+    if (double_elems > warmed_double_.load(std::memory_order_relaxed)) {
+      warmed_double_.store(double_elems, std::memory_order_release);
+    }
+    --warm_waiters_;
+    if (warm_waiters_ == 0) quiesce_cv_.notify_all();  // release queued admissions
   }
-  fn_ = nullptr;
-  if (first_error_) {
-    std::rethrow_exception(std::exchange(first_error_, nullptr));
-  }
+  // Only a workerless pool routes batches through the calling thread's
+  // inline workspace; warming it on a multi-slot pool would hand every
+  // serving client thread a full-size slab it never touches (tasks run on
+  // the worker slots). Width-1 and nested inline paths on multi-slot
+  // pools warm their thread-local slab monotonically on first use.
+  if (concurrency() == 1) inline_workspace().warm(float_elems, double_elems);
 }
 
 }  // namespace atalib::runtime

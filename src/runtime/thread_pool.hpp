@@ -1,36 +1,59 @@
 #pragma once
-// Persistent work-stealing thread pool.
+// Persistent work-stealing thread pool with queued multi-batch admission.
 //
-// W worker threads are created once and parked on a condition variable;
-// run(ntasks, fn) block-distributes task indices over W+1 per-slot deques
-// (the submitting caller participates as the last slot), wakes the
-// workers, and every slot drains its own queue front-first, then steals
-// from the cold end of other slots' queues. Threads are never created and
-// no workspace is allocated on the steady-state hot path — that is the
-// whole point versus the fork-join engine.
+// W worker threads are created once and parked on a condition variable.
+// A *batch* is one client's set of write-disjoint tasks; the pool admits
+// batches from independent client threads concurrently — each batch's task
+// indices are block-distributed over the per-slot deques and every slot
+// drains its own queue front-first, then steals from the cold end of other
+// slots' queues, regardless of which batch a task belongs to. Threads are
+// never created and no workspace is allocated on the steady-state hot path
+// — that is the whole point versus the fork-join engine.
+//
+// Two admission styles share the machinery:
+//   - run(ntasks, fn): blocking. The caller additionally participates as
+//     the dedicated caller slot (first-come among concurrent callers) and
+//     returns when its own batch has finished, rethrowing the batch's
+//     first task exception.
+//   - submit(ntasks, fn): queued. Returns a std::future immediately; the
+//     last finishing task fulfils it. This is what the serving front-end
+//     (api::Server) uses so N clients' requests overlap on one pool.
 //
 // Each slot owns a Workspace whose arenas grow monotonically to the
 // high-water mark of the tasks that slot has executed; stealing moves a
 // task, never its memory, so a stolen task simply warms the thief's arena.
+// A task re-requests its arena at body start (Workspace::arena resets the
+// slab), so interleaving tasks of different batches on one slot is safe —
+// no task may hold arena memory across task boundaries.
+//
+// warm_workspaces() keeps its "no batch in flight" requirement internal:
+// requests at or below the pool's warmed high-water mark return after two
+// atomic loads (the serving hot path), larger requests wait for the pool
+// to quiesce, grow every slot, and raise the mark. New batch admissions
+// queue behind a waiting warm so it cannot be starved.
 //
 // Queues are tiny-critical-section mutex deques, not lock-free Chase-Lev:
 // tasks here are matrix multiplications (micro- to milliseconds), so queue
 // overhead is noise, and the mutex makes the exactly-once pop guarantee
 // trivially auditable (see tests/test_runtime.cpp integrity test).
 //
-// Blocking batches: when ntasks <= concurrency(), every task is guaranteed
-// a slot of its own before any slot takes a second task (block distribution
-// hands slot s task s; a slot only pops/steals after its current task
-// completes). Tasks that block on external events — the mpisim rank bodies
-// submitted via Communicator::run_on — are therefore deadlock-free at that
-// width. The distributed layer's rank pool (src/dist/rank_pool.hpp) relies
-// on this invariant; do not change the distribution scheme without it.
+// Blocking batches: when a batch of ntasks <= concurrency() is the ONLY
+// batch in flight, every task is guaranteed a slot of its own before any
+// slot takes a second task (block distribution hands slot s task s; a slot
+// only pops/steals after its current task completes; run()'s caller drains
+// the caller slot). Tasks that block on external events — the mpisim rank
+// bodies submitted via Communicator::run_on — are therefore deadlock-free
+// at that width *given exclusive use of the pool*, which the distributed
+// layer's rank pool guarantees by holding the RankPoolLease mutex for the
+// whole communicator batch (src/dist/rank_pool.hpp). Do not change the
+// distribution scheme without this invariant.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -44,8 +67,10 @@ class ThreadPool final : public Executor {
  public:
   /// threads <= 0 selects std::thread::hardware_concurrency(). `threads`
   /// counts total execution slots: threads-1 persistent workers plus the
-  /// calling thread, which always participates in run().
+  /// caller slot, drained by whichever run() caller claims it first.
   explicit ThreadPool(int threads = 0);
+  /// Joins the workers. All batches must have completed (run() returned,
+  /// submit() futures ready) before destruction.
   ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
@@ -56,9 +81,19 @@ class ThreadPool final : public Executor {
 
   /// Runs the batch; rethrows the first task exception after the batch
   /// drains (the pool stays usable). Re-entrant submissions from inside a
-  /// task execute inline on the submitting thread. Independent client
-  /// threads are serialized.
+  /// task execute inline on the submitting thread. Batches from
+  /// independent client threads overlap.
   void run(int ntasks, const TaskFn& fn, int width = 0) override;
+
+  /// Queued multi-batch admission: enqueue the batch and return a future
+  /// that becomes ready when its last task finishes (exceptional with the
+  /// batch's first task error). The calling thread does not participate;
+  /// tasks are distributed over the worker slots. `fn` is owned by the
+  /// batch and must tolerate concurrent invocation like run()'s. From
+  /// inside a task (or on a workerless pool) the batch executes inline
+  /// before returning, so the future is already ready — blocking on the
+  /// future from task context can never deadlock.
+  std::future<void> submit(int ntasks, TaskFn fn);
 
   void warm_workspaces(std::size_t float_elems, std::size_t double_elems) override;
 
@@ -76,42 +111,72 @@ class ThreadPool final : public Executor {
 
   /// Tasks executed by a slot other than their home slot (lifetime total).
   std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
-  /// Batches executed (lifetime total).
+  /// Batches admitted to the queues (lifetime total; inline executions of
+  /// nested/width-1 work are not batches).
   std::uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
   /// Slot workspaces (workers are slots 0..concurrency()-2, the caller
-  /// runs as the last slot).
+  /// slot is the last one).
   Workspace& workspace(int slot) { return *workspaces_[static_cast<std::size_t>(slot)]; }
 
  private:
-  struct Queue {
-    std::mutex mu;
-    std::deque<int> tasks;
+  /// One admitted batch: body, countdown, first task error, completion.
+  struct Batch {
+    Batch(int ntasks, TaskFn body) : fn(std::move(body)), remaining(ntasks) {}
+    TaskFn fn;
+    std::atomic<int> remaining;
+    std::mutex err_mu;  // serializes concurrent failing tasks
+    std::exception_ptr first_error;
+    std::promise<void> done;
   };
 
+  /// Queue entry; the shared_ptr keeps the batch alive until its last
+  /// task (and the completion it triggers) has run.
+  struct Item {
+    std::shared_ptr<Batch> batch;
+    int task = -1;
+  };
+
+  struct Queue {
+    std::mutex mu;
+    std::deque<Item> tasks;
+  };
+
+  /// Admit a batch: register it (queuing behind any waiting warm),
+  /// block-distribute its tasks over the first `dist_slots` queues, wake
+  /// the workers. Returns the batch for completion waiting.
+  std::shared_ptr<Batch> enqueue(int ntasks, TaskFn fn, int dist_slots);
+  void run_inline(int ntasks, const TaskFn& fn);
   void worker_main(int slot);
   void drain(int slot);
-  bool try_pop(int slot, int& task);
-  bool try_steal(int thief, int& task);
-  void execute(int slot, int task);
-  void finish_one();
+  void drain_for(int slot, const Batch& batch);
+  bool try_pop(int slot, Item& item);
+  bool try_steal(int thief, Item& item);
+  void execute(int slot, Item item);
 
   std::vector<std::unique_ptr<Queue>> queues_;          // one per slot
   std::vector<std::unique_ptr<Workspace>> workspaces_;  // parallel to queues_
   std::vector<std::thread> threads_;                    // the W workers
 
-  std::mutex mu_;  // guards generation_ / stop_ / first_error_, pairs the cvs
-  std::condition_variable work_cv_;  // workers park here between batches
-  std::condition_variable done_cv_;  // run() waits here for the batch
+  std::mutex mu_;  // guards generation_/stop_/active_batches_/warm_waiters_
+  std::condition_variable work_cv_;     // workers park here between batches
+  std::condition_variable quiesce_cv_;  // warms wait for 0 batches; admissions wait for 0 warms
   std::uint64_t generation_ = 0;
   bool stop_ = false;
-  std::exception_ptr first_error_;
+  int active_batches_ = 0;  // admitted, not yet completed
+  int warm_waiters_ = 0;    // warms waiting for (or holding) quiescence
 
-  const TaskFn* fn_ = nullptr;       // current batch body
-  std::atomic<int> remaining_{0};    // unfinished tasks in the current batch
+  /// High-water marks warm_workspaces() has grown every slot to; requests
+  /// at or below them skip the quiescence path entirely.
+  std::atomic<std::size_t> warmed_float_{0};
+  std::atomic<std::size_t> warmed_double_{0};
+
+  /// Claimed by the first concurrent run() caller; later concurrent
+  /// callers wait on their batch future without draining (two clients
+  /// must never share the caller slot's workspace).
+  std::atomic<bool> caller_slot_busy_{false};
+
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> batches_{0};
-
-  std::mutex run_mu_;  // serializes independent client threads
 };
 
 }  // namespace atalib::runtime

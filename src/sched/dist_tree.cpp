@@ -1,11 +1,14 @@
 #include "sched/dist_tree.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 
 namespace atalib::sched {
 namespace {
+
+std::atomic<std::uint64_t> g_builds{0};
 
 struct Builder {
   std::vector<DistNode> nodes;
@@ -180,6 +183,8 @@ void visit_post(const std::vector<DistNode>& nodes, int id, std::vector<int>& or
 
 }  // namespace
 
+std::uint64_t dist_tree_builds() { return g_builds.load(std::memory_order_relaxed); }
+
 std::vector<int> DistTree::preorder() const {
   std::vector<int> order;
   order.reserve(nodes.size());
@@ -207,6 +212,7 @@ std::vector<std::vector<int>> DistTree::rank_chains() const {
 
 DistTree build_dist_tree(index_t m, index_t n, int p, double alpha) {
   assert(p >= 1);
+  g_builds.fetch_add(1, std::memory_order_relaxed);
   Builder b;
   b.alpha = alpha;
   const int root = b.syrk_node(Block{0, 0, m, n}, p, 0);

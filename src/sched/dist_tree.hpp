@@ -16,11 +16,17 @@
 // the Fig. 2 strip tiling. Symmetric (A^T A-type) partial results travel as
 // packed lower triangles (§4.3.1).
 
+#include <cstdint>
 #include <vector>
 
 #include "sched/task.hpp"
 
 namespace atalib::sched {
+
+/// Lifetime count of build_dist_tree() calls in this process. The
+/// api-layer plan-cache tests use deltas of this to prove the warm serving
+/// path never replans.
+std::uint64_t dist_tree_builds();
 
 struct DistNode {
   enum class Kind { kSyrkInner, kGemmInner, kLeaf };

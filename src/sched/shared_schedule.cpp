@@ -1,6 +1,7 @@
 #include "sched/shared_schedule.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 namespace atalib::sched {
@@ -105,10 +106,15 @@ struct Builder {
   }
 };
 
+std::atomic<std::uint64_t> g_builds{0};
+
 }  // namespace
+
+std::uint64_t shared_schedule_builds() { return g_builds.load(std::memory_order_relaxed); }
 
 SharedSchedule build_shared_schedule(index_t m, index_t n, int p, int oversub) {
   assert(p >= 1);
+  g_builds.fetch_add(1, std::memory_order_relaxed);
   const int ntasks = std::max(1, p) * std::max(1, oversub);
   Builder b;
   b.m = m;

@@ -11,11 +11,17 @@
 // node (C11, C22, C21) instead of AtA-D's 6, and 4 tile branches per gemm
 // node instead of RecursiveGEMM's 8.
 
+#include <cstdint>
 #include <vector>
 
 #include "sched/task.hpp"
 
 namespace atalib::sched {
+
+/// Lifetime count of build_shared_schedule() calls in this process. The
+/// api-layer plan-cache tests use deltas of this to prove the warm serving
+/// path never replans.
+std::uint64_t shared_schedule_builds();
 
 /// One task's assignment: the ops it executes (usually one; a merged
 /// C11+C22 pair when an odd process count leaves a single task for both

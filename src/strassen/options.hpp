@@ -2,6 +2,8 @@
 // Tuning knobs shared by Strassen / RecursiveGEMM / AtA.
 
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 
 #include "common/cacheinfo.hpp"
 #include "matrix/view.hpp"
@@ -27,5 +29,19 @@ struct RecurseOptions {
     return static_cast<index_t>(default_base_case_elements(elem_bytes));
   }
 };
+
+/// Throw std::invalid_argument on nonsensical cut-offs. `scope` names the
+/// enclosing options struct in the message (e.g. "SharedOptions").
+inline void validate(const RecurseOptions& opts, const char* scope) {
+  if (opts.base_case_elements < 0) {
+    throw std::invalid_argument(std::string(scope) +
+                                ".recurse.base_case_elements must be >= 0 (0 = probe), got " +
+                                std::to_string(opts.base_case_elements));
+  }
+  if (opts.min_dim < 1) {
+    throw std::invalid_argument(std::string(scope) + ".recurse.min_dim must be >= 1, got " +
+                                std::to_string(opts.min_dim));
+  }
+}
 
 }  // namespace atalib

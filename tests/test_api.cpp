@@ -1,0 +1,351 @@
+// Tests for the plan/execute split and the serving front-end (src/api/):
+// PlanCache LRU/stats/build-once semantics, the warm-path acceptance
+// properties (zero schedule builds and zero workspace slab allocations on
+// second-and-later executions of a cached plan), concurrent Server::submit
+// correctness against serial execution, and SharedOptions validation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "api/execute.hpp"
+#include "api/plan_cache.hpp"
+#include "api/server.hpp"
+#include "ata/ata.hpp"
+#include "dist/ata_dist.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "parallel/ata_shared.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sched/dist_tree.hpp"
+#include "sched/shared_schedule.hpp"
+
+namespace atalib {
+namespace {
+
+RecurseOptions tiny_base() {
+  RecurseOptions opts;
+  opts.base_case_elements = 256;
+  opts.min_dim = 2;
+  return opts;
+}
+
+SharedOptions shared_opts(int threads, int oversub) {
+  SharedOptions so;
+  so.threads = threads;
+  so.oversub = oversub;
+  so.recurse = tiny_base();
+  return so;
+}
+
+api::PlanKey key_for(index_t m, index_t n, int threads, int oversub) {
+  return api::shared_plan_key(api::dtype_of<double>(), m, n, shared_opts(threads, oversub));
+}
+
+std::uint64_t total_schedule_builds() {
+  return sched::shared_schedule_builds() + sched::dist_tree_builds();
+}
+
+std::size_t pool_slab_grows(runtime::ThreadPool& pool) {
+  std::size_t total = 0;
+  for (int s = 0; s < pool.concurrency(); ++s) total += pool.workspace(s).grow_count();
+  return total;
+}
+
+// ---- PlanCache --------------------------------------------------------
+
+TEST(PlanCache, HitMissEvictionOrderAndStats) {
+  api::PlanCache cache(2);
+  const auto ka = key_for(48, 40, 2, 1);
+  const auto kb = key_for(56, 44, 2, 1);
+  const auto kc = key_for(64, 48, 2, 1);
+
+  const auto pa = cache.get_or_build(ka);  // miss
+  const auto pb = cache.get_or_build(kb);  // miss
+  EXPECT_EQ(cache.get_or_build(ka).get(), pa.get());  // hit, promotes A over B
+  auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.size, 2u);
+  EXPECT_EQ(s.capacity, 2u);
+
+  cache.get_or_build(kc);  // miss; LRU victim must be B (A was just touched)
+  s = cache.stats();
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.size, 2u);
+  EXPECT_TRUE(cache.contains(ka));
+  EXPECT_FALSE(cache.contains(kb));
+  EXPECT_TRUE(cache.contains(kc));
+
+  cache.get_or_build(kb);  // rebuilt: a fourth miss, evicting A (C is hotter)
+  s = cache.stats();
+  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_FALSE(cache.contains(ka));
+}
+
+TEST(PlanCache, PlansAreImmutableSharedHandles) {
+  api::PlanCache cache(4);
+  const auto key = key_for(60, 52, 3, 2);
+  const auto plan = cache.get_or_build(key);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->key(), key);
+  EXPECT_EQ(static_cast<int>(plan->schedule().tasks.size()), 3 * 2);
+  EXPECT_GT(plan->workspace_bound(), 0u);  // Strassen engine needs scratch
+  // An evicted plan stays alive through the shared_ptr.
+  cache.clear();
+  EXPECT_FALSE(cache.contains(key));
+  EXPECT_EQ(static_cast<int>(plan->schedule().tasks.size()), 3 * 2);
+}
+
+TEST(PlanCache, ConcurrentGetOrBuildBuildsEachPlanExactlyOnce) {
+  api::PlanCache cache(8);
+  const auto key = key_for(96, 80, 4, 2);
+  const std::uint64_t builds_before = sched::shared_schedule_builds();
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const api::AtaPlan>> got(kThreads);
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    clients.emplace_back([&, i] { got[static_cast<std::size_t>(i)] = cache.get_or_build(key); });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(sched::shared_schedule_builds() - builds_before, 1u)
+      << "concurrent cold requests for one key must build the plan exactly once";
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].get(), got[0].get());
+  }
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+// ---- Warm-path acceptance: zero builds, zero slab allocations ----------
+
+TEST(ApiExecute, WarmSharedPathPerformsNoBuildsAndNoSlabAllocations) {
+  runtime::ThreadPool pool(4);
+  api::PlanCache cache(4);
+  const index_t m = 120, n = 96;
+  const auto a = random_integer<double>(m, n, 3, 71);
+  auto c_ref = Matrix<double>::zeros(n, n);
+  ata(1.0, a.const_view(), c_ref.view(), tiny_base());
+
+  const auto plan = cache.get_or_build(key_for(m, n, 4, 2));
+  auto c = Matrix<double>::zeros(n, n);
+  api::execute(*plan, 1.0, a.const_view(), c.view(), &pool);  // cold: may allocate
+  EXPECT_EQ(max_abs_diff_lower<double>(c.const_view(), c_ref.const_view()), 0.0);
+
+  const std::uint64_t builds_warm = total_schedule_builds();
+  const std::size_t grows_warm = pool_slab_grows(pool);
+  for (int rep = 0; rep < 5; ++rep) {
+    fill_view(c.view(), 0.0);
+    api::execute(*plan, 1.0, a.const_view(), c.view(), &pool);
+    EXPECT_EQ(max_abs_diff_lower<double>(c.const_view(), c_ref.const_view()), 0.0);
+  }
+  EXPECT_EQ(total_schedule_builds(), builds_warm)
+      << "second-and-later execute() must not rebuild any schedule";
+  EXPECT_EQ(pool_slab_grows(pool), grows_warm)
+      << "second-and-later execute() must not allocate workspace slabs";
+}
+
+TEST(ApiExecute, WarmDistPathPerformsNoTreeBuilds) {
+  const auto a = random_integer<double>(72, 60, 2, 17);
+  auto c_ref = Matrix<double>::zeros(60, 60);
+  ata(1.0, a.const_view(), c_ref.view(), tiny_base());
+
+  dist::DistOptions opts;
+  opts.procs = 5;
+  opts.recurse = tiny_base();
+  const auto r0 = dist::ata_dist(1.0, a, opts);  // cold: builds (or refetches) the tree
+  EXPECT_EQ(max_abs_diff_lower<double>(r0.c.const_view(), c_ref.const_view()), 0.0);
+
+  const std::uint64_t builds_warm = total_schedule_builds();
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto r = dist::ata_dist(1.0, a, opts);
+    EXPECT_EQ(max_abs_diff_lower<double>(r.c.const_view(), c_ref.const_view()), 0.0);
+    EXPECT_GT(r.traffic.total_messages(), 0u);
+  }
+  EXPECT_EQ(total_schedule_builds(), builds_warm)
+      << "repeated ata_dist on one shape must reuse the cached dist tree";
+}
+
+TEST(ApiExecute, MismatchedPlanUseThrows) {
+  api::PlanCache cache(4);
+  const auto plan = cache.get_or_build(key_for(40, 32, 2, 1));
+  const auto a_wrong = random_integer<double>(48, 32, 2, 5);
+  const auto a_float = random_integer<float>(40, 32, 2, 5);
+  auto c = Matrix<double>::zeros(32, 32);
+  auto c_float = Matrix<float>::zeros(32, 32);
+  auto c_wrong = Matrix<double>::zeros(40, 40);
+  const auto a_ok = random_integer<double>(40, 32, 2, 5);
+
+  EXPECT_THROW(api::execute(*plan, 1.0, a_wrong.const_view(), c.view()),
+               std::invalid_argument);
+  EXPECT_THROW(api::execute(*plan, 1.0f, a_float.const_view(), c_float.view()),
+               std::invalid_argument);
+  EXPECT_THROW(api::execute(*plan, 1.0, a_ok.const_view(), c_wrong.view()),
+               std::invalid_argument);
+  EXPECT_THROW(api::execute_dist(*plan, 1.0, a_ok), std::invalid_argument)
+      << "a shared plan must be rejected by the dist entry point";
+}
+
+// ---- Server ------------------------------------------------------------
+
+TEST(Server, ServesCorrectResultsAndCachesPlans) {
+  api::Server server(api::Server::Options{4, 8});
+  const index_t m = 96, n = 72;
+  const auto a = random_integer<double>(m, n, 3, 29);
+  auto c_ref = Matrix<double>::zeros(n, n);
+  ata(1.0, a.const_view(), c_ref.view(), tiny_base());
+
+  auto c = Matrix<double>::zeros(n, n);
+  server.submit(1.0, a.const_view(), c.view(), shared_opts(4, 2)).get();
+  EXPECT_EQ(max_abs_diff_lower<double>(c.const_view(), c_ref.const_view()), 0.0);
+  EXPECT_EQ(server.plan_stats().misses, 1u);
+
+  for (int rep = 0; rep < 4; ++rep) {
+    fill_view(c.view(), 0.0);
+    server.submit(1.0, a.const_view(), c.view(), shared_opts(4, 2)).get();
+    EXPECT_EQ(max_abs_diff_lower<double>(c.const_view(), c_ref.const_view()), 0.0);
+  }
+  const auto s = server.plan_stats();
+  EXPECT_EQ(s.misses, 1u) << "one shape must plan once";
+  EXPECT_EQ(s.hits, 4u);
+}
+
+TEST(Server, WarmServingPathIsSetupFree) {
+  api::Server server(api::Server::Options{4, 8});
+  const index_t m = 104, n = 88;
+  const auto a = random_integer<double>(m, n, 2, 31);
+  auto c = Matrix<double>::zeros(n, n);
+  server.submit(1.0, a.const_view(), c.view(), shared_opts(4, 2)).get();  // cold
+
+  const std::uint64_t builds_warm = total_schedule_builds();
+  const std::size_t grows_warm = pool_slab_grows(server.executor());
+  for (int rep = 0; rep < 6; ++rep) {
+    fill_view(c.view(), 0.0);
+    server.submit(1.0, a.const_view(), c.view(), shared_opts(4, 2)).get();
+  }
+  EXPECT_EQ(total_schedule_builds(), builds_warm);
+  EXPECT_EQ(pool_slab_grows(server.executor()), grows_warm)
+      << "warm requests must not allocate workspace slabs";
+}
+
+TEST(Server, ConcurrentSubmitFromManyClientsMatchesSerialBitwise) {
+  // N client threads x M shapes, every request's result compared bitwise
+  // against the serial recursion (integer inputs make every execution
+  // order produce identical floats).
+  api::Server server(api::Server::Options{4, 8});
+  struct Shape {
+    index_t m, n;
+  };
+  const Shape shapes[] = {{64, 64}, {96, 80}, {120, 88}};
+  constexpr int kClients = 6;
+  constexpr int kRepsPerClient = 4;
+
+  std::vector<Matrix<double>> inputs;
+  std::vector<Matrix<double>> refs;
+  for (const auto& shape : shapes) {
+    inputs.push_back(random_integer<double>(shape.m, shape.n, 3, 1234));
+    auto c_ref = Matrix<double>::zeros(shape.n, shape.n);
+    ata(1.0, inputs.back().const_view(), c_ref.view(), tiny_base());
+    refs.push_back(std::move(c_ref));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int client = 0; client < kClients; ++client) {
+    clients.emplace_back([&, client] {
+      for (int rep = 0; rep < kRepsPerClient; ++rep) {
+        const std::size_t si = static_cast<std::size_t>((client + rep) % 3);
+        auto c = Matrix<double>::zeros(inputs[si].cols(), inputs[si].cols());
+        auto fut = server.submit(1.0, inputs[si].const_view(), c.view(),
+                                 shared_opts(3 + client % 2, 2));
+        fut.get();
+        if (max_abs_diff_lower<double>(c.const_view(), refs[si].const_view()) != 0.0) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "every concurrent request must match the serial result bitwise";
+  const auto s = server.plan_stats();
+  EXPECT_EQ(s.misses, 3u * 2u) << "3 shapes x 2 plan widths must each plan once";
+  EXPECT_EQ(s.hits + s.misses, static_cast<std::uint64_t>(kClients * kRepsPerClient));
+}
+
+TEST(Server, RejectsInvalidOptionsAndShapesBeforeEnqueue) {
+  api::Server server(api::Server::Options{2, 4});
+  const auto a = random_integer<double>(32, 24, 2, 9);
+  auto c = Matrix<double>::zeros(24, 24);
+  auto c_bad = Matrix<double>::zeros(32, 32);
+  EXPECT_THROW(server.submit(1.0, a.const_view(), c.view(), shared_opts(0, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(server.submit(1.0, a.const_view(), c_bad.view(), shared_opts(2, 1)),
+               std::invalid_argument);
+  // The pool must still serve after rejected requests.
+  server.submit(1.0, a.const_view(), c.view()).get();
+}
+
+// ---- SharedOptions validation (satellite) ------------------------------
+
+TEST(SharedOptionsValidation, RejectsNonPositiveThreadsAndOversub) {
+  const auto a = random_integer<double>(16, 16, 2, 1);
+  auto c = Matrix<double>::zeros(16, 16);
+  for (int threads : {0, -1, -8}) {
+    SharedOptions so = shared_opts(1, 1);
+    so.threads = threads;
+    EXPECT_THROW(ata_shared(1.0, a.const_view(), c.view(), so), std::invalid_argument)
+        << "threads=" << threads;
+  }
+  for (int oversub : {0, -2}) {
+    SharedOptions so = shared_opts(2, 1);
+    so.oversub = oversub;
+    EXPECT_THROW(ata_shared(1.0, a.const_view(), c.view(), so), std::invalid_argument)
+        << "oversub=" << oversub;
+  }
+}
+
+TEST(SharedOptionsValidation, RejectsBadRecurseCutoffsEverywhere) {
+  const auto a = random_integer<double>(16, 16, 2, 2);
+  auto c = Matrix<double>::zeros(16, 16);
+
+  SharedOptions neg_base = shared_opts(2, 1);
+  neg_base.recurse.base_case_elements = -1;
+  EXPECT_THROW(ata_shared(1.0, a.const_view(), c.view(), neg_base), std::invalid_argument);
+  EXPECT_THROW(ata_shared_profile(1.0, a.const_view(), c.view(), neg_base),
+               std::invalid_argument);
+
+  SharedOptions zero_min = shared_opts(2, 1);
+  zero_min.recurse.min_dim = 0;
+  EXPECT_THROW(validate(zero_min), std::invalid_argument);
+
+  // Parity: DistOptions rejects the same cut-offs.
+  dist::DistOptions dopts;
+  dopts.procs = 2;
+  dopts.recurse.min_dim = -3;
+  EXPECT_THROW(dist::ata_dist(1.0, a, dopts), std::invalid_argument);
+}
+
+TEST(SharedOptionsValidation, ValidOptionsStillCompute) {
+  const auto a = random_integer<double>(40, 32, 2, 3);
+  auto c_ref = Matrix<double>::zeros(32, 32);
+  ata(1.0, a.const_view(), c_ref.view(), tiny_base());
+  auto c = Matrix<double>::zeros(32, 32);
+  ata_shared(1.0, a.const_view(), c.view(), shared_opts(3, 2));
+  EXPECT_EQ(max_abs_diff_lower<double>(c.const_view(), c_ref.const_view()), 0.0);
+}
+
+}  // namespace
+}  // namespace atalib

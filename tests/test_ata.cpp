@@ -7,6 +7,7 @@
 #include "common/arena.hpp"
 #include "matrix/compare.hpp"
 #include "matrix/generate.hpp"
+#include "runtime/workspace.hpp"
 #include "strassen/workspace.hpp"
 
 namespace atalib {
@@ -153,6 +154,30 @@ TEST(Aat, GramOfWideMatrixIsSmall) {
   auto c_ref = Matrix<double>::zeros(6, 6);
   blas::ref::syrk_ln(1.0, at.const_view(), c_ref.view());
   EXPECT_EQ(max_abs_diff_lower<double>(c.const_view(), c_ref.const_view()), 0.0);
+}
+
+TEST(Aat, ArenaRoutedCallsAreMallocFreeOnceWarm) {
+  // The transpose buffer comes out of the caller-visible arena, so a
+  // reused runtime::Workspace slab serves repeated aat() calls with zero
+  // slab allocations after the first.
+  const index_t m = 48, n = 36;
+  auto a = random_integer<double>(m, n, 3, 79);
+  auto at = a.transposed();
+  auto c_ref = Matrix<double>::zeros(m, m);
+  blas::ref::syrk_ln(1.0, at.const_view(), c_ref.view());
+
+  const auto bound =
+      static_cast<std::size_t>(aat_workspace_bound(m, n, tiny_base(), sizeof(double)));
+  runtime::Workspace ws;
+  for (int rep = 0; rep < 4; ++rep) {
+    Arena<double>& arena = ws.arena<double>(bound);
+    auto c = Matrix<double>::zeros(m, m);
+    aat(1.0, a.const_view(), c.view(), arena, tiny_base());
+    EXPECT_EQ(max_abs_diff_lower<double>(c.const_view(), c_ref.const_view()), 0.0)
+        << "rep " << rep;
+    EXPECT_EQ(arena.used(), 0u) << "aat must release its checkpoint";
+  }
+  EXPECT_EQ(ws.grow_count(), 1u) << "only the first call may grow the slab";
 }
 
 TEST(Ata, DefaultOptionsProbeCacheAndWork) {

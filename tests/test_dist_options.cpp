@@ -37,6 +37,20 @@ TEST(DistOptionsValidation, RejectsAlphaOutsideOpenUnitInterval) {
   }
 }
 
+TEST(DistOptionsValidation, RejectsBadRecurseCutoffs) {
+  // Parity with validate(SharedOptions): the shared RecurseOptions checks
+  // run inside DistOptions validation too.
+  auto a = random_integer<double>(16, 16, 2, 7);
+  DistOptions neg_base;
+  neg_base.procs = 4;
+  neg_base.recurse.base_case_elements = -8;
+  EXPECT_THROW(ata_dist(1.0, a, neg_base), std::invalid_argument);
+  DistOptions zero_min;
+  zero_min.procs = 4;
+  zero_min.recurse.min_dim = 0;
+  EXPECT_THROW(ata_dist(1.0, a, zero_min), std::invalid_argument);
+}
+
 TEST(DistOptionsValidation, ExtremeButValidAlphaStillComputesCorrectly) {
   auto a = random_integer<double>(48, 40, 2, 3);
   auto c_ref = Matrix<double>::zeros(40, 40);

@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "ata/ata.hpp"
@@ -87,6 +90,124 @@ TEST(ThreadPool, TaskExceptionPropagatesAndPoolSurvives) {
     after.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(after.load(), 8);
+}
+
+// ---- Queued multi-batch admission --------------------------------------
+
+TEST(ThreadPoolMultiBatch, SubmitReturnsFuturesAndRunsEveryTask) {
+  runtime::ThreadPool pool(4);
+  std::atomic<long long> sums[3] = {{0}, {0}, {0}};
+  std::future<void> futs[3];
+  for (int b = 0; b < 3; ++b) {
+    futs[b] = pool.submit(100 + b, [&sums, b](int t, runtime::TaskContext&) {
+      sums[b].fetch_add(t, std::memory_order_relaxed);
+    });
+  }
+  for (int b = 0; b < 3; ++b) {
+    futs[b].get();
+    const long long n = 100 + b;
+    EXPECT_EQ(sums[b].load(), n * (n - 1) / 2) << "batch " << b;
+  }
+  EXPECT_GE(pool.batches(), 3u);
+}
+
+TEST(ThreadPoolMultiBatch, BatchesFromIndependentClientsOverlap) {
+  // Batch 1 parks one task on a gate; batch 2 must run to completion while
+  // batch 1 is still in flight — the queued-admission property the serving
+  // front-end relies on. (The old pool serialized clients at run().)
+  runtime::ThreadPool pool(4);
+  std::promise<void> gate;
+  std::shared_future<void> gate_f = gate.get_future().share();
+  auto f1 = pool.submit(1, [gate_f](int, runtime::TaskContext&) { gate_f.wait(); });
+
+  std::atomic<int> ran{0};
+  auto f2 = pool.submit(16, [&ran](int, runtime::TaskContext&) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  f2.get();  // completes even though batch 1 holds a slot
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_EQ(f1.wait_for(std::chrono::seconds(0)), std::future_status::timeout)
+      << "batch 1 must still be blocked when batch 2 finishes";
+  gate.set_value();
+  f1.get();
+}
+
+TEST(ThreadPoolMultiBatch, ConcurrentRunClientsBothComplete) {
+  runtime::ThreadPool pool(4);
+  std::atomic<long long> sum1{0}, sum2{0};
+  std::thread c1([&] {
+    pool.run(2000, [&](int t, runtime::TaskContext&) {
+      sum1.fetch_add(t, std::memory_order_relaxed);
+    });
+  });
+  std::thread c2([&] {
+    pool.run(2000, [&](int t, runtime::TaskContext&) {
+      sum2.fetch_add(t, std::memory_order_relaxed);
+    });
+  });
+  c1.join();
+  c2.join();
+  EXPECT_EQ(sum1.load(), 2000LL * 1999 / 2);
+  EXPECT_EQ(sum2.load(), 2000LL * 1999 / 2);
+}
+
+TEST(ThreadPoolMultiBatch, SubmitExceptionSurfacesOnFutureAndPoolSurvives) {
+  runtime::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  auto f = pool.submit(12, [&ran](int t, runtime::TaskContext&) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    if (t == 5) throw std::runtime_error("task 5 failed");
+  });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 12) << "batch must drain even after a failure";
+  auto f2 = pool.submit(8, [](int, runtime::TaskContext&) {});
+  f2.get();
+}
+
+TEST(ThreadPoolMultiBatch, SubmitFromInsideATaskExecutesInline) {
+  runtime::ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.run(3, [&](int, runtime::TaskContext&) {
+    auto f = pool.submit(5, [&](int, runtime::TaskContext&) {
+      inner.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "nested submit must complete before returning";
+  });
+  EXPECT_EQ(inner.load(), 3 * 5);
+}
+
+TEST(ThreadPoolMultiBatch, WarmWaitsForQuiescenceThenGrows) {
+  runtime::ThreadPool pool(3);
+  pool.warm_workspaces(0, 512);
+  auto f = pool.submit(64, [](int, runtime::TaskContext& ctx) {
+    Arena<double>& arena = ctx.arena<double>(256);
+    arena.allocate(16)[0] = 1.0;
+  });
+  // Larger than the warmed mark: must wait until the batch above retires,
+  // then grow every slot — never while tasks could touch the arenas. The
+  // batch deregisters (waking the warm) just before its promise is
+  // fulfilled, so the future may trail the warm's return by an
+  // instruction or two — assert with a bounded wait, not wait_for(0).
+  pool.warm_workspaces(0, 4096);
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready)
+      << "a growing warm must have waited for the in-flight batch";
+  f.get();
+  std::size_t grows_after_warm = 0;
+  for (int s = 0; s < pool.concurrency(); ++s) {
+    grows_after_warm += pool.workspace(s).grow_count();
+  }
+  auto f2 = pool.submit(64, [](int, runtime::TaskContext& ctx) {
+    Arena<double>& arena = ctx.arena<double>(4096);
+    arena.allocate(64)[0] = 2.0;
+  });
+  f2.get();
+  std::size_t grows_after_batch = 0;
+  for (int s = 0; s < pool.concurrency(); ++s) {
+    grows_after_batch += pool.workspace(s).grow_count();
+  }
+  EXPECT_EQ(grows_after_batch, grows_after_warm)
+      << "requests at the warmed mark must not allocate";
 }
 
 // ---- Workspace reuse --------------------------------------------------

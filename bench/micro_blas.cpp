@@ -1,94 +1,136 @@
-// Microbenchmarks for the leaf BLAS kernels (google-benchmark).
+// Microbenchmarks for the leaf BLAS kernels (bench_common harness).
 //
 // Everything in the reproduction — AtA, Strassen, both parallel algorithms
-// and all baselines — bottoms out in these kernels, so their quality sets
-// the absolute GFLOPs of every figure. Run this to calibrate expectations
-// before reading the figure benches.
+// and all baselines — bottoms out in gemm/syrk, so their GFLOP/s set the
+// absolute height of every figure. This bench times each kernel under every
+// dispatch path the machine offers (the cpuid-selected SIMD tier and the
+// portable scalar tile), reports the SIMD-vs-scalar speedup, and writes the
+// per-path records to --json (BENCH_blas.json), the repo's leaf-kernel perf
+// baseline.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "blas/gemm.hpp"
-#include "blas/level1.hpp"
+#include "blas/kernels/registry.hpp"
 #include "blas/syrk.hpp"
-#include "matrix/generate.hpp"
+#include "matrix/matrix.hpp"
 
 namespace {
 
 using namespace atalib;
+using blas::kernels::Isa;
 
-void BM_GemmTn(benchmark::State& state) {
-  const index_t n = state.range(0);
-  const auto a = random_uniform<double>(n, n, 1);
-  const auto b = random_uniform<double>(n, n, 2);
-  auto c = Matrix<double>::zeros(n, n);
-  for (auto _ : state) {
-    blas::gemm_tn(1.0, a.const_view(), b.const_view(), c.view());
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
-}
-BENCHMARK(BM_GemmTn)->Arg(128)->Arg(256)->Arg(512);
+struct Measurement {
+  std::string bench;
+  std::string dtype;
+  index_t n = 0;
+  double seconds = 0;
+  double gflops = 0;
+  std::string dispatch;
+};
 
-void BM_GemmNn(benchmark::State& state) {
-  const index_t n = state.range(0);
-  const auto a = random_uniform<double>(n, n, 3);
-  const auto b = random_uniform<double>(n, n, 4);
-  auto c = Matrix<double>::zeros(n, n);
-  for (auto _ : state) {
-    blas::gemm_nn(1.0, a.const_view(), b.const_view(), c.view());
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+template <typename T>
+Measurement time_gemm_tn(const char* name, index_t n, int reps, const std::string& dispatch) {
+  const auto a = random_uniform<T>(n, n, 1);
+  const auto b = random_uniform<T>(n, n, 2);
+  auto c = Matrix<T>::zeros(n, n);
+  const double secs =
+      min_time_of([&] { blas::gemm_tn(T(1), a.const_view(), b.const_view(), c.view()); }, reps);
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  return {name, sizeof(T) == 4 ? "f32" : "f64", n, secs, flops / secs / 1e9, dispatch};
 }
-BENCHMARK(BM_GemmNn)->Arg(256);
 
-void BM_SyrkLn(benchmark::State& state) {
-  const index_t n = state.range(0);
-  const auto a = random_uniform<double>(n, n, 5);
-  auto c = Matrix<double>::zeros(n, n);
-  for (auto _ : state) {
-    blas::syrk_ln(1.0, a.const_view(), c.view());
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
+template <typename T>
+Measurement time_gemm_nn(const char* name, index_t n, int reps, const std::string& dispatch) {
+  const auto a = random_uniform<T>(n, n, 3);
+  const auto b = random_uniform<T>(n, n, 4);
+  auto c = Matrix<T>::zeros(n, n);
+  const double secs =
+      min_time_of([&] { blas::gemm_nn(T(1), a.const_view(), b.const_view(), c.view()); }, reps);
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  return {name, sizeof(T) == 4 ? "f32" : "f64", n, secs, flops / secs / 1e9, dispatch};
 }
-BENCHMARK(BM_SyrkLn)->Arg(128)->Arg(256)->Arg(512);
 
-void BM_SyrkFloat(benchmark::State& state) {
-  const index_t n = state.range(0);
-  const auto a = random_uniform<float>(n, n, 6);
-  auto c = Matrix<float>::zeros(n, n);
-  for (auto _ : state) {
-    blas::syrk_ln(1.0f, a.const_view(), c.view());
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
+template <typename T>
+Measurement time_syrk(const char* name, index_t n, int reps, const std::string& dispatch) {
+  const auto a = random_uniform<T>(n, n, 5);
+  auto c = Matrix<T>::zeros(n, n);
+  const double secs =
+      min_time_of([&] { blas::syrk_ln(T(1), a.const_view(), c.view()); }, reps);
+  // n^2 * m useful flops on the lower triangle (the paper's syrk count).
+  const double flops = static_cast<double>(n) * n * n;
+  return {name, sizeof(T) == 4 ? "f32" : "f64", n, secs, flops / secs / 1e9, dispatch};
 }
-BENCHMARK(BM_SyrkFloat)->Arg(256);
-
-void BM_BlockAdd(benchmark::State& state) {
-  const index_t n = state.range(0);
-  const auto a = random_uniform<double>(n, n, 7);
-  const auto b = random_uniform<double>(n - 1, n - 1, 8);  // virtual padding path
-  auto dst = Matrix<double>::zeros(n, n);
-  for (auto _ : state) {
-    blas::block_add(a.const_view(), b.const_view(), dst.view());
-    benchmark::DoNotOptimize(dst.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n * n);
-}
-BENCHMARK(BM_BlockAdd)->Arg(512)->Arg(1024);
-
-void BM_Axpy(benchmark::State& state) {
-  const index_t n = state.range(0);
-  const auto x = random_uniform<double>(1, n, 9);
-  auto y = Matrix<double>::zeros(1, n);
-  for (auto _ : state) {
-    blas::axpy(n, 1.0001, x.data(), y.data());
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_Axpy)->Arg(1 << 16);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  atalib::bench::add_common_flags(flags);
+  if (!flags.parse(argc, argv)) return 1;
+  const double scale = flags.get_double("scale");
+  const int reps = std::max(1, static_cast<int>(flags.get_int("reps")));
+  atalib::bench::JsonWriter json(flags.get_string("json"));
+
+  atalib::bench::print_banner(
+      "Leaf BLAS microkernels: GFLOP/s per dispatch path",
+      "kernel calibration for Figs. 3-6 (absolute heights, not a paper figure)");
+
+  // The automatic (cpuid-best) path first, then the forced-scalar path so
+  // the JSON carries the SIMD speedup on every machine.
+  std::vector<Isa> paths{blas::kernels::active_config<double>().isa};
+  if (paths.front() != Isa::kScalar) paths.push_back(Isa::kScalar);
+
+  const std::vector<index_t> sizes{atalib::bench::scaled(128, scale),
+                                   atalib::bench::scaled(256, scale),
+                                   atalib::bench::scaled(512, scale)};
+
+  Table table("leaf kernels, min of " + std::to_string(reps) + " reps");
+  table.set_header({"bench", "dtype", "n", "ms", "GFLOP/s", "dispatch"});
+  std::map<std::string, double> gemm_tn_gflops;  // dispatch -> largest-size GFLOP/s
+
+  std::vector<Measurement> results;
+  for (const Isa isa : paths) {
+    blas::kernels::set_forced_isa(isa);
+    const std::string dispatch = blas::kernels::isa_name(isa);
+    for (const index_t n : sizes) {
+      const Measurement tn = time_gemm_tn<double>("gemm_tn", n, reps, dispatch);
+      if (n == sizes.back()) gemm_tn_gflops[dispatch] = tn.gflops;
+      results.push_back(tn);
+      results.push_back(time_syrk<double>("syrk_ln", n, reps, dispatch));
+    }
+    results.push_back(time_gemm_nn<double>("gemm_nn", sizes[1], reps, dispatch));
+    results.push_back(time_gemm_tn<float>("gemm_tn", sizes[1], reps, dispatch));
+    results.push_back(time_syrk<float>("syrk_ln", sizes[1], reps, dispatch));
+  }
+  blas::kernels::set_forced_isa(std::nullopt);
+
+  for (const Measurement& r : results) {
+    table.add_row({r.bench, r.dtype, std::to_string(r.n), Table::num(r.seconds * 1e3),
+                   Table::num(r.gflops, 2), r.dispatch});
+    atalib::bench::JsonWriter::Record rec;
+    rec.str("bench", r.bench)
+        .str("dtype", r.dtype)
+        .num("n", static_cast<std::uint64_t>(r.n))
+        .num("seconds", r.seconds)
+        .num("gflops", r.gflops)
+        .str("dispatch", r.dispatch);
+    json.add(rec);
+  }
+  table.print();
+
+  const std::string active = blas::kernels::isa_name(paths.front());
+  if (paths.size() > 1) {
+    std::printf("\ngemm_tn f64 n=%ld speedup (%s vs scalar): %.2fx\n",
+                static_cast<long>(sizes.back()), active.c_str(),
+                gemm_tn_gflops[active] / gemm_tn_gflops["scalar"]);
+  } else {
+    std::printf("\nonly the scalar path is available on this machine\n");
+  }
+
+  return json.flush() ? 0 : 1;
+}

@@ -2,137 +2,43 @@
 
 #include <algorithm>
 #include <cassert>
-#include <vector>
 
-#include "common/aligned_buffer.hpp"
+#include "blas/kernels/pack.hpp"
+#include "blas/kernels/registry.hpp"
 
 namespace atalib::blas {
-namespace {
-
-// Register tile. 4x8 doubles = two cache lines of C per row of the tile;
-// small enough that the accumulator fits in registers for both precisions.
-constexpr index_t kMR = 4;
-constexpr index_t kNR = 8;
-
-// Cache blocking. KC*NR of B plus MR*KC of A stay in L1 during one
-// microkernel sweep; MC*KC of packed A targets L2.
-constexpr index_t kMC = 128;
-constexpr index_t kKC = 256;
-constexpr index_t kNC = 2048;
-
-/// Element accessor honoring Op without materializing the transpose.
-template <typename T>
-struct OpView {
-  ConstMatrixView<T> v;
-  bool trans;
-  index_t rows() const { return trans ? v.cols : v.rows; }
-  index_t cols() const { return trans ? v.rows : v.cols; }
-  T at(index_t i, index_t j) const { return trans ? v(j, i) : v(i, j); }
-};
-
-/// Pack an mc x kc block of op(A) into MR-row micro-panels:
-/// panel p holds rows [p*MR, p*MR+MR) column-major-by-k:
-/// dst[p*MR*kc + k*MR + r]. Rows past the edge are zero-filled so the
-/// microkernel never branches on MR.
-template <typename T>
-void pack_a(const OpView<T>& a, index_t i0, index_t p0, index_t mc, index_t kc, T* dst) {
-  for (index_t p = 0; p < mc; p += kMR) {
-    const index_t mr = std::min(kMR, mc - p);
-    for (index_t k = 0; k < kc; ++k) {
-      index_t r = 0;
-      for (; r < mr; ++r) dst[k * kMR + r] = a.at(i0 + p + r, p0 + k);
-      for (; r < kMR; ++r) dst[k * kMR + r] = T(0);
-    }
-    dst += kMR * kc;
-  }
-}
-
-/// Pack a kc x nc block of op(B) into NR-column micro-panels:
-/// dst[q*NR*kc + k*NR + c]; columns past the edge zero-filled.
-template <typename T>
-void pack_b(const OpView<T>& b, index_t p0, index_t j0, index_t kc, index_t nc, T* dst) {
-  for (index_t q = 0; q < nc; q += kNR) {
-    const index_t nr = std::min(kNR, nc - q);
-    for (index_t k = 0; k < kc; ++k) {
-      index_t c = 0;
-      for (; c < nr; ++c) dst[k * kNR + c] = b.at(p0 + k, j0 + q + c);
-      for (; c < kNR; ++c) dst[k * kNR + c] = T(0);
-    }
-    dst += kNR * kc;
-  }
-}
-
-/// MR x NR microkernel: C[0:mr, 0:nr] += alpha * Apanel * Bpanel over kc.
-/// The accumulator covers the full MR x NR tile (packers zero-padded), only
-/// the valid mr x nr corner is stored back.
-template <typename T>
-void micro_kernel(index_t kc, T alpha, const T* ap, const T* bp, T* c, index_t ldc, index_t mr,
-                  index_t nr) {
-  T acc[kMR][kNR] = {};
-  for (index_t k = 0; k < kc; ++k) {
-    const T* a = ap + k * kMR;
-    const T* b = bp + k * kNR;
-    for (index_t r = 0; r < kMR; ++r) {
-      const T ar = a[r];
-      for (index_t cidx = 0; cidx < kNR; ++cidx) acc[r][cidx] += ar * b[cidx];
-    }
-  }
-  for (index_t r = 0; r < mr; ++r) {
-    for (index_t cidx = 0; cidx < nr; ++cidx) c[r * ldc + cidx] += alpha * acc[r][cidx];
-  }
-}
-
-/// Per-thread packing buffers, grown on demand. Thread-local so the OpenMP
-/// parallel wrappers can call the serial gemm concurrently without sharing.
-template <typename T>
-struct PackBuffers {
-  AlignedBuffer<T> a;
-  AlignedBuffer<T> b;
-  void ensure(std::size_t a_need, std::size_t b_need) {
-    if (a.size() < a_need) a = AlignedBuffer<T>(a_need);
-    if (b.size() < b_need) b = AlignedBuffer<T>(b_need);
-  }
-};
 
 template <typename T>
-PackBuffers<T>& pack_buffers() {
-  thread_local PackBuffers<T> bufs;
-  return bufs;
-}
-
-}  // namespace
-
-template <typename T>
-void gemm(Op opa, Op opb, T alpha, ConstMatrixView<T> av, ConstMatrixView<T> bv,
-          MatrixView<T> c) {
-  const OpView<T> a{av, opa == Op::kTrans};
-  const OpView<T> b{bv, opb == Op::kTrans};
+void gemm(Op opa, Op opb, T alpha, ConstMatrixView<T> av, ConstMatrixView<T> bv, MatrixView<T> c,
+          Arena<T>* arena) {
+  const kernels::OpView<T> a{av, opa == Op::kTrans};
+  const kernels::OpView<T> b{bv, opb == Op::kTrans};
   const index_t m = c.rows, n = c.cols, k = a.cols();
   assert(a.rows() == m && b.rows() == k && b.cols() == n);
   if (m == 0 || n == 0 || k == 0 || alpha == T(0)) return;
 
-  auto& bufs = pack_buffers<T>();
-  // Panel capacity rounded up to whole micro-panels.
-  const std::size_t a_cap = static_cast<std::size_t>((kMC + kMR) * kKC);
-  const std::size_t b_cap = static_cast<std::size_t>(kKC * (kNC + kNR));
-  bufs.ensure(a_cap, b_cap);
+  const kernels::KernelConfig<T>& cfg = kernels::active_config<T>();
+  const index_t MR = cfg.uk.mr, NR = cfg.uk.nr;
+  const index_t MC = cfg.blocks.mc, KC = cfg.blocks.kc, NC = cfg.blocks.nc;
+  const kernels::PackExtents ext = kernels::pack_extents(cfg, m, n, k);
+  const kernels::PackStorage<T> bufs(arena, ext.a, ext.b);
 
-  for (index_t jc = 0; jc < n; jc += kNC) {
-    const index_t nc = std::min(kNC, n - jc);
-    for (index_t pc = 0; pc < k; pc += kKC) {
-      const index_t kc = std::min(kKC, k - pc);
-      pack_b(b, pc, jc, kc, nc, bufs.b.data());
-      for (index_t ic = 0; ic < m; ic += kMC) {
-        const index_t mc = std::min(kMC, m - ic);
-        pack_a(a, ic, pc, mc, kc, bufs.a.data());
-        for (index_t q = 0; q < nc; q += kNR) {
-          const index_t nr = std::min(kNR, nc - q);
-          const T* bp = bufs.b.data() + (q / kNR) * kNR * kc;
-          for (index_t p = 0; p < mc; p += kMR) {
-            const index_t mr = std::min(kMR, mc - p);
-            const T* ap = bufs.a.data() + (p / kMR) * kMR * kc;
-            micro_kernel(kc, alpha, ap, bp, c.data + (ic + p) * c.stride + jc + q, c.stride, mr,
-                         nr);
+  for (index_t jc = 0; jc < n; jc += NC) {
+    const index_t nc = std::min(NC, n - jc);
+    for (index_t pc = 0; pc < k; pc += KC) {
+      const index_t kc = std::min(KC, k - pc);
+      kernels::pack_b(b, pc, jc, kc, nc, NR, bufs.b());
+      for (index_t ic = 0; ic < m; ic += MC) {
+        const index_t mc = std::min(MC, m - ic);
+        kernels::pack_a(a, ic, pc, mc, kc, MR, bufs.a());
+        for (index_t q = 0; q < nc; q += NR) {
+          const index_t nr = std::min(NR, nc - q);
+          const T* bp = bufs.b() + (q / NR) * NR * kc;
+          for (index_t p = 0; p < mc; p += MR) {
+            const index_t mr = std::min(MR, mc - p);
+            const T* ap = bufs.a() + (p / MR) * MR * kc;
+            cfg.uk.fn(kc, alpha, ap, bp, c.data + (ic + p) * c.stride + jc + q, c.stride, mr,
+                      nr);
           }
         }
       }
@@ -140,9 +46,16 @@ void gemm(Op opa, Op opb, T alpha, ConstMatrixView<T> av, ConstMatrixView<T> bv,
   }
 }
 
+template <typename T>
+index_t gemm_workspace_bound(index_t m, index_t n, index_t k) {
+  return kernels::pack_bound<T>(m, n, k);
+}
+
 template void gemm<float>(Op, Op, float, ConstMatrixView<float>, ConstMatrixView<float>,
-                          MatrixView<float>);
+                          MatrixView<float>, Arena<float>*);
 template void gemm<double>(Op, Op, double, ConstMatrixView<double>, ConstMatrixView<double>,
-                           MatrixView<double>);
+                           MatrixView<double>, Arena<double>*);
+template index_t gemm_workspace_bound<float>(index_t, index_t, index_t);
+template index_t gemm_workspace_bound<double>(index_t, index_t, index_t);
 
 }  // namespace atalib::blas

@@ -1,0 +1,32 @@
+// AVX2+FMA register tiles. Compiled with -mavx2 -mfma -ffp-contract=fast
+// (per-file CMake options); only dispatched when cpuid reports both.
+//
+// double 6x8: 6 rows x 2 ymm = 12 accumulators, plus 2 B vectors and one
+// broadcast — 15 of 16 ymm live. float 6x16 is the same shape at VL=8.
+
+#include "blas/kernels/microkernel.hpp"
+
+#if defined(ATALIB_KERNELS_AVX2)
+
+#include "blas/kernels/simd_microkernel.hpp"
+
+namespace atalib::blas::kernels {
+namespace {
+
+bool avx2_supported() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+}  // namespace
+
+const KernelEntry& avx2_kernel_entry() {
+  static const KernelEntry entry{Isa::kAvx2,
+                                 &avx2_supported,
+                                 Microkernel<float>{6, 16, &simd_microkernel<float, 8, 6, 2>},
+                                 Microkernel<double>{6, 8, &simd_microkernel<double, 4, 6, 2>}};
+  return entry;
+}
+
+}  // namespace atalib::blas::kernels
+
+#endif  // ATALIB_KERNELS_AVX2

@@ -1,0 +1,35 @@
+// AVX-512 register tiles. Compiled with -mavx512f -mavx512vl -mavx512dq
+// -mavx2 -mfma -ffp-contract=fast (per-file CMake options); the runtime
+// probe requires the same three AVX-512 subsets the compiler may emit.
+//
+// double 8x16: 8 rows x 2 zmm = 16 accumulators — half the zmm file, so the
+// compiler never spills and the k-loop stays a pure broadcast+2xFMA stream.
+// float 8x32 is the same shape at VL=16.
+
+#include "blas/kernels/microkernel.hpp"
+
+#if defined(ATALIB_KERNELS_AVX512)
+
+#include "blas/kernels/simd_microkernel.hpp"
+
+namespace atalib::blas::kernels {
+namespace {
+
+bool avx512_supported() {
+  return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512vl") &&
+         __builtin_cpu_supports("avx512dq");
+}
+
+}  // namespace
+
+const KernelEntry& avx512_kernel_entry() {
+  static const KernelEntry entry{Isa::kAvx512,
+                                 &avx512_supported,
+                                 Microkernel<float>{8, 32, &simd_microkernel<float, 16, 8, 2>},
+                                 Microkernel<double>{8, 16, &simd_microkernel<double, 8, 8, 2>}};
+  return entry;
+}
+
+}  // namespace atalib::blas::kernels
+
+#endif  // ATALIB_KERNELS_AVX512

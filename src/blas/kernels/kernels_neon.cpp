@@ -1,0 +1,31 @@
+// NEON (aarch64 ASIMD) register tiles. NEON is architecturally baseline on
+// aarch64, so the probe is unconditional; the file is only compiled there.
+//
+// double 6x8: 6 rows x 4 q-regs of 2 = 24 accumulators, plus 4 B vectors
+// and one broadcast — 29 of the 32 vector registers. float 6x16 matches at
+// VL=4.
+
+#include "blas/kernels/microkernel.hpp"
+
+#if defined(ATALIB_KERNELS_NEON)
+
+#include "blas/kernels/simd_microkernel.hpp"
+
+namespace atalib::blas::kernels {
+namespace {
+
+bool neon_supported() { return true; }
+
+}  // namespace
+
+const KernelEntry& neon_kernel_entry() {
+  static const KernelEntry entry{Isa::kNeon,
+                                 &neon_supported,
+                                 Microkernel<float>{6, 16, &simd_microkernel<float, 4, 6, 4>},
+                                 Microkernel<double>{6, 8, &simd_microkernel<double, 2, 6, 4>}};
+  return entry;
+}
+
+}  // namespace atalib::blas::kernels
+
+#endif  // ATALIB_KERNELS_NEON

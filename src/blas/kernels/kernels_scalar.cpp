@@ -1,0 +1,43 @@
+// Portable scalar microkernel: the universal fallback and the reference
+// every SIMD tier is tested bitwise against (tests/test_kernels.cpp). The
+// 4x8 tile is the seed kernel unchanged — small enough that the accumulator
+// stays in registers for both precisions under plain auto-vectorization.
+
+#include "blas/kernels/microkernel.hpp"
+
+namespace atalib::blas::kernels {
+namespace {
+
+constexpr index_t kMR = 4;
+constexpr index_t kNR = 8;
+
+template <typename T>
+void scalar_microkernel(index_t kc, T alpha, const T* ap, const T* bp, T* c, index_t ldc,
+                        index_t mr, index_t nr) {
+  T acc[kMR][kNR] = {};
+  for (index_t k = 0; k < kc; ++k) {
+    const T* a = ap + k * kMR;
+    const T* b = bp + k * kNR;
+    for (index_t r = 0; r < kMR; ++r) {
+      const T ar = a[r];
+      for (index_t cidx = 0; cidx < kNR; ++cidx) acc[r][cidx] += ar * b[cidx];
+    }
+  }
+  for (index_t r = 0; r < mr; ++r) {
+    for (index_t cidx = 0; cidx < nr; ++cidx) c[r * ldc + cidx] += alpha * acc[r][cidx];
+  }
+}
+
+bool always_supported() { return true; }
+
+}  // namespace
+
+const KernelEntry& scalar_kernel_entry() {
+  static const KernelEntry entry{Isa::kScalar,
+                                 &always_supported,
+                                 Microkernel<float>{kMR, kNR, &scalar_microkernel<float>},
+                                 Microkernel<double>{kMR, kNR, &scalar_microkernel<double>}};
+  return entry;
+}
+
+}  // namespace atalib::blas::kernels

@@ -1,0 +1,53 @@
+#pragma once
+// ISA-specific register-tile microkernels (see DESIGN.md §2).
+//
+// A microkernel computes C[0:mr, 0:nr] += alpha * A * B over one packed
+// micro-panel pair: A is an MR x kc panel (column-major-by-k, rows past the
+// tile zero-padded), B a kc x NR panel (row-major-by-k, columns zero-padded),
+// so the accumulator always spans the full MR x NR register tile and only the
+// valid mr x nr corner is stored back. Each ISA variant lives in its own
+// translation unit compiled with its own -m flags (CMake per-file options),
+// and surfaces itself as one KernelEntry; registry.hpp picks the best
+// supported entry at runtime via cpuid.
+
+#include "matrix/view.hpp"
+
+namespace atalib::blas::kernels {
+
+/// Dispatchable instruction-set tiers. Numeric order is not preference
+/// order — the registry dispatches best-first per architecture.
+enum class Isa { kScalar = 0, kNeon = 1, kAvx2 = 2, kAvx512 = 3 };
+inline constexpr int kIsaCount = 4;
+
+/// Largest register tile any compiled kernel declares; sized for the
+/// packed-SYRK diagonal scratch tile, which lives on the stack.
+inline constexpr index_t kMaxMR = 16;
+inline constexpr index_t kMaxNR = 32;
+
+/// One register-tile microkernel for one scalar type.
+template <typename T>
+struct Microkernel {
+  index_t mr = 0;
+  index_t nr = 0;
+  void (*fn)(index_t kc, T alpha, const T* ap, const T* bp, T* c, index_t ldc, index_t mr,
+             index_t nr) = nullptr;
+};
+
+/// A compiled-in ISA variant: float + double tiles plus a runtime support
+/// probe. Exactly one static instance per kernel translation unit.
+struct KernelEntry {
+  Isa isa;
+  bool (*supported)();
+  Microkernel<float> f32;
+  Microkernel<double> f64;
+};
+
+/// Per-TU entry accessors. Only the scalar one always exists; the others
+/// are compiled (and referenced by the registry) when CMake defines the
+/// matching ATALIB_KERNELS_* macro for this architecture.
+const KernelEntry& scalar_kernel_entry();
+const KernelEntry& avx2_kernel_entry();
+const KernelEntry& avx512_kernel_entry();
+const KernelEntry& neon_kernel_entry();
+
+}  // namespace atalib::blas::kernels

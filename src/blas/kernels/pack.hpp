@@ -1,0 +1,141 @@
+#pragma once
+// Panel packing and pack-buffer storage for the blocked gemm/syrk drivers
+// (see DESIGN.md §2).
+//
+// Packing formats (what every microkernel consumes):
+//   pack_a: MR-row micro-panels of op(A) — panel p starts at dst[p * kc *
+//   MR], element (row r, depth k) at dst[k * MR + r], rows past the edge
+//   zero-filled so kernels never branch on MR.
+//   pack_b: NR-column micro-panels of op(B) — element (depth k, col c) at
+//   dst[k * NR + c], columns past the edge zero-filled.
+//
+// Each packer has a contiguous-copy fast path for the operand orientation
+// whose packed index walks unit-stride source memory (op(A) transposed /
+// op(B) untransposed — gemm_tn, *the* AtA leaf shape, hits both) and a
+// pointer-stepped gather for the other orientation; neither goes through a
+// per-element accessor with a transpose branch.
+
+#include <algorithm>
+#include <optional>
+
+#include "common/aligned_buffer.hpp"
+#include "common/arena.hpp"
+#include "matrix/view.hpp"
+
+namespace atalib::blas::kernels {
+
+/// Operand view honoring a transpose without materializing it.
+template <typename T>
+struct OpView {
+  ConstMatrixView<T> v;
+  bool trans;
+  index_t rows() const { return trans ? v.cols : v.rows; }
+  index_t cols() const { return trans ? v.rows : v.cols; }
+};
+
+/// Pack an mc x kc block of op(A) starting at (i0, p0) into MR-row
+/// micro-panels.
+template <typename T>
+void pack_a(const OpView<T>& a, index_t i0, index_t p0, index_t mc, index_t kc, index_t mr_tile,
+            T* dst) {
+  const index_t ld = a.v.stride;
+  for (index_t p = 0; p < mc; p += mr_tile) {
+    const index_t mr = std::min(mr_tile, mc - p);
+    if (a.trans) {
+      // op(A)(i0+p+r, p0+k) = A(p0+k, i0+p+r): unit stride in r.
+      const T* src0 = a.v.data + p0 * ld + (i0 + p);
+      for (index_t k = 0; k < kc; ++k) {
+        const T* src = src0 + k * ld;
+        index_t r = 0;
+        for (; r < mr; ++r) dst[k * mr_tile + r] = src[r];
+        for (; r < mr_tile; ++r) dst[k * mr_tile + r] = T(0);
+      }
+    } else {
+      // op(A)(i0+p+r, p0+k) = A(i0+p+r, p0+k): unit stride in k per row.
+      for (index_t r = 0; r < mr; ++r) {
+        const T* src = a.v.data + (i0 + p + r) * ld + p0;
+        for (index_t k = 0; k < kc; ++k) dst[k * mr_tile + r] = src[k];
+      }
+      for (index_t r = mr; r < mr_tile; ++r) {
+        for (index_t k = 0; k < kc; ++k) dst[k * mr_tile + r] = T(0);
+      }
+    }
+    dst += mr_tile * kc;
+  }
+}
+
+/// Pack a kc x nc block of op(B) starting at (p0, j0) into NR-column
+/// micro-panels.
+template <typename T>
+void pack_b(const OpView<T>& b, index_t p0, index_t j0, index_t kc, index_t nc, index_t nr_tile,
+            T* dst) {
+  const index_t ld = b.v.stride;
+  for (index_t q = 0; q < nc; q += nr_tile) {
+    const index_t nr = std::min(nr_tile, nc - q);
+    if (!b.trans) {
+      // op(B)(p0+k, j0+q+c) = B(p0+k, j0+q+c): unit stride in c.
+      const T* src0 = b.v.data + p0 * ld + (j0 + q);
+      for (index_t k = 0; k < kc; ++k) {
+        const T* src = src0 + k * ld;
+        index_t c = 0;
+        for (; c < nr; ++c) dst[k * nr_tile + c] = src[c];
+        for (; c < nr_tile; ++c) dst[k * nr_tile + c] = T(0);
+      }
+    } else {
+      // op(B)(p0+k, j0+q+c) = B(j0+q+c, p0+k): unit stride in k per column.
+      for (index_t c = 0; c < nr; ++c) {
+        const T* src = b.v.data + (j0 + q + c) * ld + p0;
+        for (index_t k = 0; k < kc; ++k) dst[k * nr_tile + c] = src[k];
+      }
+      for (index_t c = nr; c < nr_tile; ++c) {
+        for (index_t k = 0; k < kc; ++k) dst[k * nr_tile + c] = T(0);
+      }
+    }
+    dst += nr_tile * kc;
+  }
+}
+
+/// Pack-buffer storage for one gemm/syrk call: a caller arena when provided
+/// (checkpoint-scoped, so the allocation vanishes on return — the leaf-path
+/// malloc-free guarantee), otherwise per-thread buffers grown on demand and
+/// reused across calls.
+template <typename T>
+class PackStorage {
+ public:
+  PackStorage(Arena<T>* arena, index_t a_elems, index_t b_elems) {
+    if (arena != nullptr) {
+      scope_.emplace(*arena);
+      a_ = arena->allocate(static_cast<std::size_t>(a_elems));
+      b_ = arena->allocate(static_cast<std::size_t>(b_elems));
+    } else {
+      auto& bufs = thread_buffers();
+      if (bufs.a.size() < static_cast<std::size_t>(a_elems)) {
+        bufs.a = AlignedBuffer<T>(static_cast<std::size_t>(a_elems));
+      }
+      if (bufs.b.size() < static_cast<std::size_t>(b_elems)) {
+        bufs.b = AlignedBuffer<T>(static_cast<std::size_t>(b_elems));
+      }
+      a_ = bufs.a.data();
+      b_ = bufs.b.data();
+    }
+  }
+
+  T* a() const { return a_; }
+  T* b() const { return b_; }
+
+ private:
+  struct Buffers {
+    AlignedBuffer<T> a;
+    AlignedBuffer<T> b;
+  };
+  static Buffers& thread_buffers() {
+    thread_local Buffers bufs;
+    return bufs;
+  }
+
+  std::optional<typename Arena<T>::Scope> scope_;
+  T* a_ = nullptr;
+  T* b_ = nullptr;
+};
+
+}  // namespace atalib::blas::kernels

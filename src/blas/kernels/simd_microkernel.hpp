@@ -1,0 +1,62 @@
+#pragma once
+// Generic SIMD microkernel over GCC/Clang vector extensions.
+//
+// Included ONLY by the per-ISA kernel translation units: the same template
+// compiled under -mavx2, -mavx512f, or aarch64 NEON yields the matching
+// machine code, so one source serves every tier. VL is the vector length in
+// elements, MR the tile rows, NV the vectors per row (NR = VL * NV). The
+// k-loop keeps MR*NV vector accumulators live and does one broadcast of A
+// plus NV loads of B per step; with -mfma / -ffp-contract=fast the
+// multiply-add contracts to FMA. Loads/stores go through memcpy so packed
+// panels and C rows need no alignment and no aliasing blessing.
+
+#include "matrix/view.hpp"
+
+namespace atalib::blas::kernels {
+
+template <typename T, int VL, int MR, int NV>
+void simd_microkernel(index_t kc, T alpha, const T* ap, const T* bp, T* c, index_t ldc,
+                      index_t mr, index_t nr) {
+  constexpr int NR = VL * NV;
+  typedef T V __attribute__((vector_size(VL * sizeof(T))));
+  const auto load = [](const T* p) {
+    V v;
+    __builtin_memcpy(&v, p, sizeof(V));
+    return v;
+  };
+  const auto splat = [](T x) {
+    V v;
+    for (int l = 0; l < VL; ++l) v[l] = x;
+    return v;
+  };
+
+  V acc[MR][NV] = {};
+  const T* a = ap;
+  const T* b = bp;
+  for (index_t k = 0; k < kc; ++k, a += MR, b += NR) {
+    V bv[NV];
+    for (int j = 0; j < NV; ++j) bv[j] = load(b + j * VL);
+    for (int r = 0; r < MR; ++r) {
+      const V av = splat(a[r]);
+      for (int j = 0; j < NV; ++j) acc[r][j] += av * bv[j];
+    }
+  }
+
+  if (mr == MR && nr == NR) {
+    const V va = splat(alpha);
+    for (int r = 0; r < MR; ++r) {
+      T* crow = c + r * ldc;
+      for (int j = 0; j < NV; ++j) {
+        V cv = load(crow + j * VL);
+        cv += va * acc[r][j];
+        __builtin_memcpy(crow + j * VL, &cv, sizeof(V));
+      }
+    }
+  } else {
+    for (index_t r = 0; r < mr; ++r) {
+      for (index_t j = 0; j < nr; ++j) c[r * ldc + j] += alpha * acc[r][j / VL][j % VL];
+    }
+  }
+}
+
+}  // namespace atalib::blas::kernels

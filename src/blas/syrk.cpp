@@ -4,56 +4,79 @@
 #include <cassert>
 
 #include "blas/gemm.hpp"
-#include "common/aligned_buffer.hpp"
-#include "matrix/matrix.hpp"
+#include "blas/kernels/pack.hpp"
+#include "blas/kernels/registry.hpp"
 
 namespace atalib::blas {
-namespace {
-
-// Column-block width. Off-diagonal C blocks are full rectangles handled by
-// gemm; diagonal blocks go through a temporary so gemm's rectangular
-// microkernel can be reused without writing the upper triangle.
-constexpr index_t kNB = 128;
 
 template <typename T>
-AlignedBuffer<T>& diag_scratch() {
-  thread_local AlignedBuffer<T> buf;
-  if (buf.size() < static_cast<std::size_t>(kNB * kNB)) {
-    buf = AlignedBuffer<T>(static_cast<std::size_t>(kNB * kNB));
-  }
-  return buf;
-}
-
-}  // namespace
-
-template <typename T>
-void syrk_ln(T alpha, ConstMatrixView<T> a, MatrixView<T> c) {
+void syrk_ln(T alpha, ConstMatrixView<T> a, MatrixView<T> c, Arena<T>* arena) {
   const index_t m = a.rows, n = a.cols;
   assert(c.rows == n && c.cols == n);
   if (n == 0 || m == 0 || alpha == T(0)) return;
 
-  for (index_t j = 0; j < n; j += kNB) {
-    const index_t nb = std::min(kNB, n - j);
-    // Rectangular part below the diagonal block: rows (j+nb)..n of this
-    // column panel, C[i, j:j+nb] = A[:, i]^T A[:, j:j+nb].
-    if (j + nb < n) {
-      gemm_tn(alpha, a.block(0, j + nb, m, n - j - nb), a.block(0, j, m, nb),
-              c.block(j + nb, j, n - j - nb, nb));
-    }
-    // Diagonal block through scratch (gemm writes the full square).
-    auto& scratch = diag_scratch<T>();
-    MatrixView<T> t(scratch.data(), nb, nb, nb);
-    fill_view(t, T(0));
-    gemm_tn(T(1), a.block(0, j, m, nb), a.block(0, j, m, nb), t);
-    for (index_t i = 0; i < nb; ++i) {
-      T* dst = c.data + (j + i) * c.stride + j;
-      const T* src = t.data + i * nb;
-      for (index_t jj = 0; jj <= i; ++jj) dst[jj] += alpha * src[jj];
+  const kernels::KernelConfig<T>& cfg = kernels::active_config<T>();
+  const index_t MR = cfg.uk.mr, NR = cfg.uk.nr;
+  const index_t MC = cfg.blocks.mc, KC = cfg.blocks.kc, NC = cfg.blocks.nc;
+  const kernels::PackExtents ext = kernels::pack_extents(cfg, n, n, m);
+  const kernels::PackStorage<T> bufs(arena, ext.a, ext.b);
+
+  // C = A^T A: the row operand is op(A) = A^T (n x m), the column operand is
+  // A itself — both packers hit their contiguous fast path.
+  const kernels::OpView<T> arow{a, true};
+  const kernels::OpView<T> acol{a, false};
+
+  for (index_t jc = 0; jc < n; jc += NC) {
+    const index_t nc = std::min(NC, n - jc);
+    for (index_t pc = 0; pc < m; pc += KC) {
+      const index_t kc = std::min(KC, m - pc);
+      kernels::pack_b(acol, pc, jc, kc, nc, NR, bufs.b());
+      // Output rows above jc are strictly upper-triangle for this column
+      // panel, so row panels start at the diagonal.
+      for (index_t ic = jc; ic < n; ic += MC) {
+        const index_t mc = std::min(MC, n - ic);
+        kernels::pack_a(arow, ic, pc, mc, kc, MR, bufs.a());
+        for (index_t q = 0; q < nc; q += NR) {
+          const index_t nr = std::min(NR, nc - q);
+          const index_t col0 = jc + q;
+          const T* bp = bufs.b() + (q / NR) * NR * kc;
+          for (index_t p = 0; p < mc; p += MR) {
+            const index_t mr = std::min(MR, mc - p);
+            const index_t row0 = ic + p;
+            if (row0 + mr - 1 < col0) continue;  // microtile strictly above the diagonal
+            const T* ap = bufs.a() + (p / MR) * MR * kc;
+            if (row0 >= col0 + nr - 1) {
+              // Every (i, j) of the tile has j <= i: store straight into C.
+              cfg.uk.fn(kc, alpha, ap, bp, c.data + row0 * c.stride + col0, c.stride, mr, nr);
+            } else {
+              // Diagonal-crossing tile: compute the full tile into a stack
+              // temporary, fold back only the at-or-below-diagonal part.
+              T tmp[kernels::kMaxMR * kernels::kMaxNR];
+              for (index_t i = 0; i < mr * nr; ++i) tmp[i] = T(0);
+              cfg.uk.fn(kc, alpha, ap, bp, tmp, nr, mr, nr);
+              for (index_t r = 0; r < mr; ++r) {
+                const index_t jmax = std::min(nr, row0 + r - col0 + 1);
+                T* dst = c.data + (row0 + r) * c.stride + col0;
+                const T* src = tmp + r * nr;
+                for (index_t j = 0; j < jmax; ++j) dst[j] += src[j];
+              }
+            }
+          }
+        }
+      }
     }
   }
 }
 
-template void syrk_ln<float>(float, ConstMatrixView<float>, MatrixView<float>);
-template void syrk_ln<double>(double, ConstMatrixView<double>, MatrixView<double>);
+template <typename T>
+index_t syrk_workspace_bound(index_t m, index_t n) {
+  return gemm_workspace_bound<T>(n, n, m);
+}
+
+template void syrk_ln<float>(float, ConstMatrixView<float>, MatrixView<float>, Arena<float>*);
+template void syrk_ln<double>(double, ConstMatrixView<double>, MatrixView<double>,
+                              Arena<double>*);
+template index_t syrk_workspace_bound<float>(index_t, index_t);
+template index_t syrk_workspace_bound<double>(index_t, index_t);
 
 }  // namespace atalib::blas

@@ -3,18 +3,34 @@
 //
 // Self-built substitute for MKL ?syrk (the paper's baseline in Figs. 3 and 5
 // and AtA's base-case kernel). Only the lower triangle of C is touched,
-// matching the BLAS 'L' uplo convention and AtA's output contract.
+// matching the BLAS 'L' uplo convention and AtA's output contract. The
+// implementation is a true packed-SYRK (see DESIGN.md §2): one panel-packing
+// sweep shared with gemm's blocking, above-diagonal microtiles skipped
+// outright, diagonal-crossing microtiles folded through a register-tile
+// stack temporary — no separate diagonal-block scratch buffer.
 
+#include "common/arena.hpp"
 #include "matrix/view.hpp"
 
 namespace atalib::blas {
 
 /// lower(C) += alpha * A^T A. A is m x n, C is n x n; the strict upper
-/// triangle of C is never read or written.
+/// triangle of C is never read or written. Packed panels come from `arena`
+/// when given (checkpoint-scoped; malloc-free once the arena is warm) and
+/// from reusable thread-local buffers otherwise.
 template <typename T>
-void syrk_ln(T alpha, ConstMatrixView<T> a, MatrixView<T> c);
+void syrk_ln(T alpha, ConstMatrixView<T> a, MatrixView<T> c, Arena<T>* arena = nullptr);
 
-extern template void syrk_ln<float>(float, ConstMatrixView<float>, MatrixView<float>);
-extern template void syrk_ln<double>(double, ConstMatrixView<double>, MatrixView<double>);
+/// Arena elements one syrk_ln call on an m x n input may draw for its
+/// packed panels (same maximization rule as gemm_workspace_bound).
+template <typename T>
+index_t syrk_workspace_bound(index_t m, index_t n);
+
+extern template void syrk_ln<float>(float, ConstMatrixView<float>, MatrixView<float>,
+                                    Arena<float>*);
+extern template void syrk_ln<double>(double, ConstMatrixView<double>, MatrixView<double>,
+                                     Arena<double>*);
+extern template index_t syrk_workspace_bound<float>(index_t, index_t);
+extern template index_t syrk_workspace_bound<double>(index_t, index_t);
 
 }  // namespace atalib::blas

@@ -16,13 +16,13 @@ void run_leaf_kernel(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, Matrix
     if (engine == LeafEngine::kStrassen) {
       ata(alpha, a, c, arena, opts);
     } else {
-      blas::syrk_ln(alpha, a, c);
+      blas::syrk_ln(alpha, a, c, &arena);
     }
   } else {
     if (engine == LeafEngine::kStrassen) {
       strassen_tn(alpha, a, b, c, arena, opts);
     } else {
-      blas::gemm_tn(alpha, a, b, c);
+      blas::gemm_tn(alpha, a, b, c, &arena);
     }
   }
 }
@@ -30,7 +30,16 @@ void run_leaf_kernel(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, Matrix
 template <typename T>
 index_t leaf_op_workspace(const sched::LeafOp& op, LeafEngine engine,
                           const RecurseOptions& opts) {
-  if (engine != LeafEngine::kStrassen) return 0;
+  if (engine != LeafEngine::kStrassen) {
+    // kBlas leaves draw their packed panels from the caller arena, keeping
+    // the PR 3 warm path malloc-free on pool workers. (The Strassen engine's
+    // *internal* base-case gemms still use thread-local pack buffers, so its
+    // arena bounds below are unchanged — see strassen/workspace.cpp.)
+    if (op.kind == sched::LeafOp::Kind::kSyrk) {
+      return blas::syrk_workspace_bound<T>(op.a.rows, op.a.cols);
+    }
+    return blas::gemm_workspace_bound<T>(op.a.cols, op.b.cols, op.a.rows);
+  }
   if (op.kind == sched::LeafOp::Kind::kSyrk) {
     return ata_workspace_bound(op.a.rows, op.a.cols, opts, sizeof(T));
   }

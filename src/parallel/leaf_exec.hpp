@@ -22,15 +22,17 @@ enum class LeafEngine { kStrassen, kBlas };
 
 /// Execute one leaf multiplication on pre-cut views: for kSyrk,
 /// lower(c) += alpha * a^T a (b is ignored); for kGemm, c += alpha * a^T b.
-/// Scratch comes from `arena` (untouched net of checkpoints; kBlas needs
-/// none). Views are already localized — callers cut them from the global
-/// matrices (AtA-S) or from per-rank received blocks (AtA-D).
+/// Scratch comes from `arena` (untouched net of checkpoints) for both
+/// engines — kStrassen draws its recursion temporaries, kBlas its packed
+/// gemm/syrk panels. Views are already localized — callers cut them from
+/// the global matrices (AtA-S) or from per-rank received blocks (AtA-D).
 template <typename T>
 void run_leaf_kernel(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
                      sched::LeafOp::Kind kind, Arena<T>& arena, LeafEngine engine,
                      const RecurseOptions& opts);
 
-/// Arena elements run_leaf_kernel may allocate for `op` (0 for kBlas).
+/// Arena elements run_leaf_kernel may allocate for `op` (for kBlas: the
+/// packed-panel bound, maximized over every dispatchable microkernel).
 template <typename T>
 index_t leaf_op_workspace(const sched::LeafOp& op, LeafEngine engine,
                           const RecurseOptions& opts);

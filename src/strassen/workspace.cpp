@@ -19,7 +19,10 @@ index_t strassen_workspace_bound(index_t m, index_t n, index_t k, const RecurseO
   const index_t base = opts.resolved_base_elements(elem_bytes);
   index_t total = 0;
   // Only one child is live at a time and every child has ceil-half dims, so
-  // the deepest path dominates: walk it iteratively.
+  // the deepest path dominates: walk it iteratively. The base-case gemms at
+  // the bottom of the recursion take no arena pointer (their packed panels
+  // come from thread-local pack buffers, see blas/kernels/pack.hpp), so this
+  // bound stays pure recursion temporaries.
   while (!gemm_base_case(m, n, k, base, opts.min_dim)) {
     const index_t m1 = half_up(m), n1 = half_up(n), k1 = half_up(k);
     total += m1 * n1 + m1 * k1 + n1 * k1;  // TA + TB + M for this level

@@ -1,0 +1,263 @@
+// Bitwise-equality tests for the ISA-dispatched microkernels
+// (src/blas/kernels/): every SIMD tier available on this machine against
+// the scalar tile, across ragged shapes straddling each kernel's MR/NR
+// edges, both transpose packings, and the packed-SYRK diagonal.
+//
+// Inputs are small integers, so every product and partial sum is exactly
+// representable in float and double: FMA contraction, accumulation order,
+// and blocking differences cannot round, and any mismatch is a real
+// packing/microkernel/dispatch bug, not noise.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/kernels/registry.hpp"
+#include "blas/reference.hpp"
+#include "blas/syrk.hpp"
+#include "common/arena.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+
+namespace atalib {
+namespace {
+
+namespace kn = blas::kernels;
+using kn::Isa;
+
+/// RAII dispatch pin; restores automatic dispatch on scope exit.
+class ForcedIsa {
+ public:
+  explicit ForcedIsa(Isa isa) { kn::set_forced_isa(isa); }
+  ~ForcedIsa() { kn::set_forced_isa(std::nullopt); }
+};
+
+std::vector<Isa> simd_isas() {
+  std::vector<Isa> v;
+  for (const kn::KernelEntry* e : kn::available_kernels()) {
+    if (e->isa != Isa::kScalar) v.push_back(e->isa);
+  }
+  return v;
+}
+
+/// Shape values straddling the register tile: 1, tile-1, tile, tile+1 for
+/// both MR and NR, plus odd primes away from any tile boundary.
+std::vector<index_t> edge_dims(index_t mr, index_t nr) {
+  std::vector<index_t> dims{1, mr - 1, mr, mr + 1, nr - 1, nr, nr + 1, 13, 61};
+  std::sort(dims.begin(), dims.end());
+  dims.erase(std::unique(dims.begin(), dims.end()), dims.end());
+  dims.erase(dims.begin(), std::upper_bound(dims.begin(), dims.end(), index_t{0}));
+  return dims;
+}
+
+const std::vector<index_t> kDepths{1, 7, 31, 97};  // contraction depths (odd primes + 1)
+
+template <typename T>
+void expect_gemm_matches_scalar(Isa isa) {
+  const kn::KernelConfig<T>& cfg = kn::config_for<T>(isa);
+  const std::vector<index_t> dims = edge_dims(cfg.uk.mr, cfg.uk.nr);
+  std::uint64_t seed = 1;
+  for (const index_t rows : dims) {
+    for (const index_t cols : dims) {
+      for (const index_t depth : kDepths) {
+        // Operand layouts per variant; C is rows x cols, contraction depth.
+        const auto a_t = random_integer<T>(depth, rows, 3, seed++);  // op = ^T
+        const auto a_n = random_integer<T>(rows, depth, 3, seed++);
+        const auto b_n = random_integer<T>(depth, cols, 3, seed++);
+        const auto b_t = random_integer<T>(cols, depth, 3, seed++);
+        const auto run = [&](Isa use, auto fn) {
+          ForcedIsa forced(use);
+          auto c = Matrix<T>::zeros(rows, cols);
+          fn(c);
+          return c;
+        };
+        const auto check = [&](const char* what, auto fn) {
+          const auto simd = run(isa, fn);
+          const auto scalar = run(Isa::kScalar, fn);
+          ASSERT_EQ(max_abs_diff<T>(simd.const_view(), scalar.const_view()), 0.0)
+              << what << " rows=" << rows << " cols=" << cols << " depth=" << depth
+              << " isa=" << kn::isa_name(isa);
+        };
+        check("gemm_tn", [&](Matrix<T>& c) {
+          blas::gemm_tn(T(2), a_t.const_view(), b_n.const_view(), c.view());
+        });
+        check("gemm_nn", [&](Matrix<T>& c) {
+          blas::gemm_nn(T(2), a_n.const_view(), b_n.const_view(), c.view());
+        });
+        check("gemm_nt", [&](Matrix<T>& c) {
+          blas::gemm_nt(T(2), a_n.const_view(), b_t.const_view(), c.view());
+        });
+      }
+    }
+  }
+}
+
+template <typename T>
+void expect_syrk_matches_scalar(Isa isa) {
+  const kn::KernelConfig<T>& cfg = kn::config_for<T>(isa);
+  const std::vector<index_t> dims = edge_dims(cfg.uk.mr, cfg.uk.nr);
+  const T sentinel = T(-123.25);
+  std::uint64_t seed = 1000;
+  for (const index_t n : dims) {
+    for (const index_t m : kDepths) {
+      const auto a = random_integer<T>(m, n, 3, seed++);
+      const auto run = [&](Isa use) {
+        ForcedIsa forced(use);
+        auto c = Matrix<T>::zeros(n, n);
+        for (index_t i = 0; i < n; ++i) {
+          for (index_t j = i + 1; j < n; ++j) c(i, j) = sentinel;
+        }
+        blas::syrk_ln(T(2), a.const_view(), c.view());
+        return c;
+      };
+      const auto simd = run(isa);
+      const auto scalar = run(Isa::kScalar);
+      ASSERT_EQ(max_abs_diff<T>(simd.const_view(), scalar.const_view()), 0.0)
+          << "syrk_ln m=" << m << " n=" << n << " isa=" << kn::isa_name(isa);
+      for (index_t i = 0; i < n; ++i) {
+        for (index_t j = i + 1; j < n; ++j) {
+          ASSERT_EQ(simd(i, j), sentinel) << "upper triangle touched at (" << i << "," << j
+                                          << ") isa=" << kn::isa_name(isa);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelRegistry, ScalarIsAlwaysCompiledAndLast) {
+  const auto& kernels = kn::compiled_kernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_EQ(kernels.back()->isa, Isa::kScalar);
+  EXPECT_TRUE(kernels.back()->supported());
+}
+
+TEST(KernelRegistry, EveryCompiledEntryIsWellFormed) {
+  // Tile limits matter for every entry, not just the active one: the
+  // packed-SYRK diagonal temporary is a kMaxMR x kMaxNR stack tile, and
+  // the registry refuses configs that would overrun it.
+  const auto check_tile = [](const char* name, index_t mr, index_t nr, bool has_fn) {
+    EXPECT_GT(mr, 0) << name;
+    EXPECT_GT(nr, 0) << name;
+    EXPECT_LE(mr, kn::kMaxMR) << name;
+    EXPECT_LE(nr, kn::kMaxNR) << name;
+    EXPECT_TRUE(has_fn) << name;
+  };
+  for (const kn::KernelEntry* e : kn::compiled_kernels()) {
+    check_tile(kn::isa_name(e->isa), e->f32.mr, e->f32.nr, e->f32.fn != nullptr);
+    check_tile(kn::isa_name(e->isa), e->f64.mr, e->f64.nr, e->f64.fn != nullptr);
+  }
+  const auto& cfg = kn::active_config<double>();
+  // Blocking must be tile-aligned so packed panels never overrun.
+  EXPECT_EQ(cfg.blocks.mc % cfg.uk.mr, 0);
+  EXPECT_EQ(cfg.blocks.nc % cfg.uk.nr, 0);
+  EXPECT_GT(cfg.blocks.kc, 0);
+}
+
+TEST(KernelRegistry, ForcedScalarPinsDispatch) {
+  ForcedIsa forced(Isa::kScalar);
+  EXPECT_EQ(kn::active_config<double>().isa, Isa::kScalar);
+  EXPECT_EQ(kn::active_config<float>().isa, Isa::kScalar);
+  EXPECT_EQ(kn::forced_isa(), Isa::kScalar);
+}
+
+TEST(KernelRegistry, ForcingUnavailableIsaThrows) {
+  // NEON and AVX2 are never compiled into the same binary, so at least one
+  // of them is guaranteed unavailable on any architecture.
+  const auto available = kn::available_kernels();
+  for (const Isa isa : {Isa::kNeon, Isa::kAvx2}) {
+    const bool have = std::any_of(available.begin(), available.end(),
+                                  [&](const kn::KernelEntry* e) { return e->isa == isa; });
+    if (!have) {
+      EXPECT_THROW(kn::set_forced_isa(isa), std::invalid_argument);
+      return;
+    }
+  }
+  FAIL() << "NEON and AVX2 both reported available in one binary";
+}
+
+TEST(Kernels, GemmDoubleBitwiseMatchesScalarAcrossRaggedShapes) {
+  for (const Isa isa : simd_isas()) expect_gemm_matches_scalar<double>(isa);
+}
+
+TEST(Kernels, GemmFloatBitwiseMatchesScalarAcrossRaggedShapes) {
+  for (const Isa isa : simd_isas()) expect_gemm_matches_scalar<float>(isa);
+}
+
+TEST(Kernels, SyrkDoubleBitwiseMatchesScalarAndSkipsUpperTriangle) {
+  for (const Isa isa : simd_isas()) expect_syrk_matches_scalar<double>(isa);
+}
+
+TEST(Kernels, SyrkFloatBitwiseMatchesScalarAndSkipsUpperTriangle) {
+  for (const Isa isa : simd_isas()) expect_syrk_matches_scalar<float>(isa);
+}
+
+TEST(Kernels, ScalarPathMatchesNaiveReferenceExactly) {
+  // Anchors the whole equivalence chain to the deliberately naive oracle.
+  ForcedIsa forced(Isa::kScalar);
+  const auto a = random_integer<double>(37, 29, 3, 7);
+  const auto b = random_integer<double>(37, 23, 3, 8);
+  auto c = Matrix<double>::zeros(29, 23);
+  auto c_ref = Matrix<double>::zeros(29, 23);
+  blas::gemm_tn(2.0, a.const_view(), b.const_view(), c.view());
+  blas::ref::gemm_tn(2.0, a.const_view(), b.const_view(), c_ref.view());
+  EXPECT_EQ(max_abs_diff<double>(c.const_view(), c_ref.const_view()), 0.0);
+
+  auto s = Matrix<double>::zeros(29, 29);
+  auto s_ref = Matrix<double>::zeros(29, 29);
+  blas::syrk_ln(2.0, a.const_view(), s.view());
+  blas::ref::syrk_ln(2.0, a.const_view(), s_ref.view());
+  EXPECT_EQ(max_abs_diff_lower<double>(s.const_view(), s_ref.const_view()), 0.0);
+}
+
+TEST(Kernels, ArenaRoutedGemmMatchesThreadLocalAndStaysWithinBound) {
+  const index_t m = 70, n = 66, k = 65;
+  const auto a = random_integer<double>(k, m, 3, 21);  // gemm_tn layout
+  const auto b = random_integer<double>(k, n, 3, 22);
+  auto c_tls = Matrix<double>::zeros(m, n);
+  auto c_arena = Matrix<double>::zeros(m, n);
+  blas::gemm_tn(1.0, a.const_view(), b.const_view(), c_tls.view());
+
+  const index_t bound = blas::gemm_workspace_bound<double>(m, n, k);
+  ASSERT_GT(bound, 0);
+  Arena<double> arena(static_cast<std::size_t>(bound));
+  blas::gemm_tn(1.0, a.const_view(), b.const_view(), c_arena.view(), &arena);
+  EXPECT_EQ(max_abs_diff<double>(c_arena.const_view(), c_tls.const_view()), 0.0);
+  // Checkpoint-scoped: net-untouched on return, never past the bound.
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_LE(arena.high_water(), static_cast<std::size_t>(bound));
+}
+
+TEST(Kernels, ArenaRoutedSyrkMatchesThreadLocalAndStaysWithinBound) {
+  const index_t m = 81, n = 67;
+  const auto a = random_integer<double>(m, n, 3, 23);
+  auto c_tls = Matrix<double>::zeros(n, n);
+  auto c_arena = Matrix<double>::zeros(n, n);
+  blas::syrk_ln(1.0, a.const_view(), c_tls.view());
+
+  const index_t bound = blas::syrk_workspace_bound<double>(m, n);
+  ASSERT_GT(bound, 0);
+  Arena<double> arena(static_cast<std::size_t>(bound));
+  blas::syrk_ln(1.0, a.const_view(), c_arena.view(), &arena);
+  EXPECT_EQ(max_abs_diff_lower<double>(c_arena.const_view(), c_tls.const_view()), 0.0);
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_LE(arena.high_water(), static_cast<std::size_t>(bound));
+}
+
+TEST(Kernels, WorkspaceBoundCoversEveryDispatchPath) {
+  // The bound must stay valid when a cached plan built under automatic
+  // dispatch executes under a forced path (or vice versa): it is maximized
+  // over every available ISA, so each per-ISA need fits under it.
+  const index_t m = 130, n = 70, k = 90;
+  const index_t bound = blas::gemm_workspace_bound<double>(m, n, k);
+  for (const kn::KernelEntry* e : kn::available_kernels()) {
+    const auto& cfg = kn::config_for<double>(e->isa);
+    const kn::PackExtents ext = kn::pack_extents(cfg, m, n, k);
+    EXPECT_LE(ext.a + ext.b, bound) << kn::isa_name(e->isa);
+  }
+}
+
+}  // namespace
+}  // namespace atalib

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   const index_t n = bench::scaled(flags.get_int("n"), scale);
   const int procs = static_cast<int>(flags.get_int("procs"));
   const RecurseOptions recurse = bench::recurse_from_flags(flags);
+  bench::JsonWriter json(flags.get_string("json"));
 
   bench::print_banner("AtA-D load-balance parameter sweep", "§4.1.2 (alpha = 1/2 claim)");
 
@@ -49,12 +50,24 @@ int main(int argc, char** argv) {
     opts.alpha = alpha;
     opts.recurse = recurse;
     const auto res = dist::ata_dist(1.0, a, opts);
-    table.add_row({Table::num(alpha, 3), Table::num(max_leaf / 1e6, 2),
-                   Table::num(max_leaf / (total / leaves), 3), Table::num(res.seconds),
-                   std::to_string(res.traffic.total_words())});
+    const double balance = max_leaf / (total / leaves);
+    table.add_row({Table::num(alpha, 3), Table::num(max_leaf / 1e6, 2), Table::num(balance, 3),
+                   Table::num(res.seconds), std::to_string(res.traffic.total_words())});
+
+    bench::JsonWriter::Record rec;
+    rec.str("bench", "ablation_alpha")
+        .str("dtype", "f64")
+        .num("n", static_cast<std::uint64_t>(n))
+        .num("procs", procs)
+        .num("alpha", alpha)
+        .num("max_leaf_mflop", max_leaf / 1e6)
+        .num("balance", balance)
+        .num("seconds", res.seconds)
+        .num("words", static_cast<std::uint64_t>(res.traffic.total_words()));
+    json.add(rec);
   }
   table.print();
   std::printf("shape check: the balance column (max/avg per-process work, 1.0 = perfect)\n"
               "should be best near alpha = 0.5, the paper's choice.\n");
-  return 0;
+  return json.flush() ? 0 : 1;
 }

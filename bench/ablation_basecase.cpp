@@ -3,10 +3,13 @@
 // Sweeps the recursion cut-off threshold and shows the U-shape the paper's
 // choice sits in: tiny thresholds drown in recursion overhead and BLAS-1
 // block sums; huge thresholds degenerate AtA into one syrk call and forfeit
-// the Strassen savings. The cache-probed default should sit near the
-// bottom of the U.
+// the Strassen savings. The cache-probed default and the measured tuner's
+// pick (strassen::Tuner, DESIGN.md §6) should both sit near the bottom of
+// the U — the tuned row is what base_case_elements = 0 actually runs with.
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "ata/ata.hpp"
 #include "bench_common.hpp"
@@ -23,19 +26,27 @@ int main(int argc, char** argv) {
   const double scale = flags.get_double("scale");
   const int reps = static_cast<int>(flags.get_int("reps"));
   const index_t n = bench::scaled(flags.get_int("n"), scale);
+  bench::JsonWriter json(flags.get_string("json"));
 
   bench::print_banner("AtA base-case threshold sweep", "§3.1 / Algorithm 1 line 2");
 
   const auto a = random_uniform<double>(n, n, 1000);
   auto c = Matrix<double>::zeros(n, n);
   const index_t probed = static_cast<index_t>(default_base_case_elements(sizeof(double)));
+  const index_t tuned = tuned_base_case_elements(sizeof(double));
 
   Table table("Base-case threshold vs AtA runtime (n = " + std::to_string(n) + ")");
   table.set_header({"threshold (elems)", "vs cache-probed", "time (s)", "EG (r=1)"});
 
-  for (index_t threshold : {index_t(1) << 8, index_t(1) << 10, index_t(1) << 12,
-                            index_t(1) << 14, probed, index_t(1) << 18, index_t(1) << 20,
-                            index_t(1) << 24}) {
+  std::vector<index_t> thresholds{index_t(1) << 8,  index_t(1) << 10, index_t(1) << 12,
+                                  index_t(1) << 14, probed,           index_t(1) << 18,
+                                  index_t(1) << 20, index_t(1) << 24};
+  if (std::find(thresholds.begin(), thresholds.end(), tuned) == thresholds.end()) {
+    thresholds.push_back(tuned);
+    std::sort(thresholds.begin(), thresholds.end());
+  }
+
+  for (index_t threshold : thresholds) {
     RecurseOptions recurse;
     recurse.base_case_elements = threshold;
     const double t = min_time_of(
@@ -44,13 +55,29 @@ int main(int argc, char** argv) {
           ata(1.0, a.const_view(), c.view(), recurse);
         },
         reps);
-    table.add_row({std::to_string(threshold),
-                   threshold == probed ? "probed default" : Table::num(
-                       static_cast<double>(threshold) / static_cast<double>(probed), 3),
-                   Table::num(t), Table::num(metrics::effective_gflops(1.0, n, n, n, t), 2)});
+    std::string label = threshold == probed   ? "probed default"
+                        : threshold == tuned  ? "tuner pick"
+                                              : Table::num(static_cast<double>(threshold) /
+                                                               static_cast<double>(probed),
+                                                           3);
+    const double eg = metrics::effective_gflops(1.0, n, n, n, t);
+    table.add_row({std::to_string(threshold), label, Table::num(t), Table::num(eg, 2)});
+
+    bench::JsonWriter::Record rec;
+    rec.str("bench", "ablation_basecase")
+        .str("dtype", "f64")
+        .num("n", static_cast<std::uint64_t>(n))
+        .num("threshold", static_cast<std::uint64_t>(threshold))
+        .str("label", threshold == probed  ? "probed"
+                      : threshold == tuned ? "tuned"
+                                           : "swept")
+        .num("seconds", t)
+        .num("eff_gflops", eg);
+    json.add(rec);
   }
   table.print();
   std::printf("shape check: runtime is U-shaped in the threshold; the probed default\n"
-              "(%ld elements) should be at or near the minimum.\n", probed);
-  return 0;
+              "(%ld elements) and the tuner's pick (%ld) should be at or near the minimum.\n",
+              static_cast<long>(probed), static_cast<long>(tuned));
+  return json.flush() ? 0 : 1;
 }

@@ -6,11 +6,17 @@
 // crossover after which Strassen wins, margin growing with n. The
 // pre-allocation claim of §3.3 is quantified separately in
 // ablation_workspace.
+//
+// Besides the automatic (cpuid-best) dispatch, every size is also timed
+// with the Strassen engine pinned to the scalar microkernel tier, so the
+// --json output (BENCH_strassen.json) carries the registry-vs-scalar-leaf
+// speedup of the whole engine — the number the PR 6 refit is accepted on.
 
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "blas/gemm.hpp"
+#include "blas/kernels/registry.hpp"
 #include "metrics/flops.hpp"
 #include "strassen/strassen.hpp"
 
@@ -23,13 +29,20 @@ int main(int argc, char** argv) {
   const double scale = flags.get_double("scale");
   const int reps = static_cast<int>(flags.get_int("reps"));
   const RecurseOptions recurse = bench::recurse_from_flags(flags);
+  bench::JsonWriter json(flags.get_string("json"));
 
   bench::print_banner("Sequential FastStrassen vs blocked gemm (double, C += A^T B)",
                       "Figure 4 (a) + (b)");
 
-  Table table("Fig. 4: time and effective GFLOPs vs matrix size (r = 2)");
-  table.set_header({"n", "Strassen (s)", "gemm (s)", "Strassen EG", "gemm EG", "gemm/Strassen"});
+  const blas::kernels::Isa active = blas::kernels::active_config<double>().isa;
+  const std::string dispatch = blas::kernels::isa_name(active);
+  const bool have_simd = active != blas::kernels::Isa::kScalar;
 
+  Table table("Fig. 4: time and effective GFLOPs vs matrix size (r = 2)");
+  table.set_header({"n", "Strassen (s)", "gemm (s)", "Strassen EG", "gemm EG", "gemm/Strassen",
+                    "vs scalar-leaf"});
+
+  double last_speedup = 0.0;
   for (index_t base : {256, 384, 512, 768, 1024, 1280, 1536, 1792, 2048}) {
     const index_t n = bench::scaled(base, scale);
     const auto a = random_uniform<double>(n, n, 200 + n);
@@ -48,13 +61,60 @@ int main(int argc, char** argv) {
           blas::gemm_tn(1.0, a.const_view(), b.const_view(), c.view());
         },
         reps);
+    // The pre-refit engine: identical recursion, every leaf and block sum
+    // pinned to the scalar tier.
+    double t_scalar = t_str;
+    if (have_simd) {
+      blas::kernels::set_forced_isa(blas::kernels::Isa::kScalar);
+      t_scalar = min_time_of(
+          [&] {
+            fill_view(c.view(), 0.0);
+            fast_strassen(1.0, a.const_view(), b.const_view(), c.view(), recurse);
+          },
+          reps);
+      blas::kernels::set_forced_isa(std::nullopt);
+    }
+    last_speedup = t_scalar / t_str;
 
+    const double eg_str = metrics::effective_gflops(2.0, n, n, n, t_str);
+    const double eg_gemm = metrics::effective_gflops(2.0, n, n, n, t_gemm);
     table.add_row({std::to_string(n), Table::num(t_str), Table::num(t_gemm),
-                   Table::num(metrics::effective_gflops(2.0, n, n, n, t_str), 2),
-                   Table::num(metrics::effective_gflops(2.0, n, n, n, t_gemm), 2),
-                   Table::num(t_gemm / t_str, 3)});
+                   Table::num(eg_str, 2), Table::num(eg_gemm, 2),
+                   Table::num(t_gemm / t_str, 3),
+                   have_simd ? Table::num(t_scalar / t_str, 2) : std::string("n/a")});
+
+    bench::JsonWriter::Record strassen_rec;
+    strassen_rec.str("bench", "strassen_tn")
+        .str("dtype", "f64")
+        .num("n", static_cast<std::uint64_t>(n))
+        .num("seconds", t_str)
+        .num("eff_gflops", eg_str)
+        .str("dispatch", dispatch);
+    json.add(strassen_rec);
+    bench::JsonWriter::Record gemm_rec;
+    gemm_rec.str("bench", "gemm_tn")
+        .str("dtype", "f64")
+        .num("n", static_cast<std::uint64_t>(n))
+        .num("seconds", t_gemm)
+        .num("eff_gflops", eg_gemm)
+        .str("dispatch", dispatch);
+    json.add(gemm_rec);
+    if (have_simd) {
+      bench::JsonWriter::Record scalar_rec;
+      scalar_rec.str("bench", "strassen_tn")
+          .str("dtype", "f64")
+          .num("n", static_cast<std::uint64_t>(n))
+          .num("seconds", t_scalar)
+          .num("eff_gflops", metrics::effective_gflops(2.0, n, n, n, t_scalar))
+          .str("dispatch", "scalar");
+      json.add(scalar_rec);
+    }
   }
   table.print();
   std::printf("shape check: gemm/Strassen ratio should cross 1 and keep growing with n.\n");
-  return 0;
+  if (have_simd) {
+    std::printf("registry-backed Strassen vs scalar-leaf Strassen at the largest size: "
+                "%.2fx\n", last_speedup);
+  }
+  return json.flush() ? 0 : 1;
 }

@@ -51,7 +51,12 @@ PlanKey shared_plan_key(Dtype dtype, index_t m, index_t n, const SharedOptions& 
   key.p = opts.threads;
   key.oversub = opts.oversub;
   key.engine = opts.engine;
-  key.base_case_elements = opts.recurse.base_case_elements;
+  // Store the *resolved* cut-off (auto -> tuner), so the tuned value is part
+  // of the cache identity: two processes with different tuning outcomes can
+  // never share a serialized plan whose schedule assumed the other cut-off,
+  // and a plan's workspace bounds always match the leaves' actual recursion.
+  key.base_case_elements =
+      opts.recurse.resolved_base_elements(dtype == Dtype::kF32 ? sizeof(float) : sizeof(double));
   key.min_dim = opts.recurse.min_dim;
   return key;
 }
@@ -65,7 +70,9 @@ PlanKey dist_plan_key(Dtype dtype, index_t m, index_t n, const dist::DistOptions
   key.p = opts.procs;
   key.lb_alpha = opts.alpha;
   key.engine = opts.engine;
-  key.base_case_elements = opts.recurse.base_case_elements;
+  // Same resolved-cut-off rule as shared_plan_key (see above).
+  key.base_case_elements =
+      opts.recurse.resolved_base_elements(dtype == Dtype::kF32 ? sizeof(float) : sizeof(double));
   key.min_dim = opts.recurse.min_dim;
   return key;
 }

@@ -48,7 +48,7 @@ struct PlanKey {
   int oversub = 1;         ///< shared only; always 1 for dist plans
   double lb_alpha = 0.0;   ///< dist only (§4.1.2); always 0 for shared plans
   LeafEngine engine = LeafEngine::kStrassen;
-  index_t base_case_elements = 0;  ///< raw RecurseOptions value (0 = probe)
+  index_t base_case_elements = 0;  ///< *resolved* cut-off (auto -> tuner value)
   index_t min_dim = 8;
 
   bool operator==(const PlanKey&) const = default;

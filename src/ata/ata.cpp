@@ -14,15 +14,17 @@ namespace {
 
 // Algorithm 1, lines 5-12, parameterized over the off-diagonal multiplier
 // so AtA (FastStrassen) and AtANaive (RecursiveGEMM) share the recursion.
+// `syrk_arena` feeds the base-case syrk's packed panels (nullptr = the leaf
+// kernel's thread-local fallback, used only by the naive baseline).
 template <typename T, typename Gemm>
 void ata_rec(T alpha, ConstMatrixView<T> a, MatrixView<T> c, index_t base_elements,
-             const RecurseOptions& opts, Gemm&& gemm_tn_off) {
+             const RecurseOptions& opts, Arena<T>* syrk_arena, Gemm&& gemm_tn_off) {
   const index_t m = a.rows, n = a.cols;
   assert(c.rows == n && c.cols == n);
   if (m == 0 || n == 0) return;
   // Algorithm 1 line 2: block fits in cache -> BLAS ?syrk.
   if (ata_base_case(m, n, base_elements, opts.min_dim)) {
-    blas::syrk_ln(alpha, a, c);
+    blas::syrk_ln(alpha, a, c, syrk_arena);
     return;
   }
   const index_t m1 = half_up(m), m2 = half_down(m);
@@ -37,11 +39,11 @@ void ata_rec(T alpha, ConstMatrixView<T> a, MatrixView<T> c, index_t base_elemen
   auto C22 = c.block(n1, n1, n2, n2);
 
   // C11 = A11^T A11 + A21^T A21 (lines 7-8).
-  ata_rec(alpha, A11, C11, base_elements, opts, gemm_tn_off);
-  ata_rec(alpha, A21, C11, base_elements, opts, gemm_tn_off);
+  ata_rec(alpha, A11, C11, base_elements, opts, syrk_arena, gemm_tn_off);
+  ata_rec(alpha, A21, C11, base_elements, opts, syrk_arena, gemm_tn_off);
   // C22 = A12^T A12 + A22^T A22 (lines 9-10).
-  ata_rec(alpha, A12, C22, base_elements, opts, gemm_tn_off);
-  ata_rec(alpha, A22, C22, base_elements, opts, gemm_tn_off);
+  ata_rec(alpha, A12, C22, base_elements, opts, syrk_arena, gemm_tn_off);
+  ata_rec(alpha, A22, C22, base_elements, opts, syrk_arena, gemm_tn_off);
   // C21 = A12^T A11 + A22^T A21 (lines 11-12). C12 = C21^T is never formed.
   gemm_tn_off(alpha, A12, A11, C21);
   gemm_tn_off(alpha, A22, A21, C21);
@@ -53,7 +55,7 @@ template <typename T>
 void ata(T alpha, ConstMatrixView<T> a, MatrixView<T> c, Arena<T>& arena,
          const RecurseOptions& opts) {
   const index_t base = opts.resolved_base_elements(sizeof(T));
-  ata_rec(alpha, a, c, base, opts,
+  ata_rec(alpha, a, c, base, opts, &arena,
           [&](T al, ConstMatrixView<T> x, ConstMatrixView<T> y, MatrixView<T> z) {
             strassen_tn(al, x, y, z, arena, opts);
           });
@@ -104,7 +106,7 @@ void aat(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const RecurseOptions& o
 template <typename T>
 void ata_naive(T alpha, ConstMatrixView<T> a, MatrixView<T> c, const RecurseOptions& opts) {
   const index_t base = opts.resolved_base_elements(sizeof(T));
-  ata_rec(alpha, a, c, base, opts,
+  ata_rec(alpha, a, c, base, opts, static_cast<Arena<T>*>(nullptr),
           [&](T al, ConstMatrixView<T> x, ConstMatrixView<T> y, MatrixView<T> z) {
             recursive_gemm_tn(al, x, y, z, opts);
           });

@@ -9,6 +9,7 @@
 #if defined(ATALIB_KERNELS_AVX2)
 
 #include "blas/kernels/simd_microkernel.hpp"
+#include "blas/kernels/simd_tileops.hpp"
 
 namespace atalib::blas::kernels {
 namespace {
@@ -23,7 +24,9 @@ const KernelEntry& avx2_kernel_entry() {
   static const KernelEntry entry{Isa::kAvx2,
                                  &avx2_supported,
                                  Microkernel<float>{6, 16, &simd_microkernel<float, 8, 6, 2>},
-                                 Microkernel<double>{6, 8, &simd_microkernel<double, 4, 6, 2>}};
+                                 Microkernel<double>{6, 8, &simd_microkernel<double, 4, 6, 2>},
+                                 simd_tileops<float, 8>(),
+                                 simd_tileops<double, 4>()};
   return entry;
 }
 

@@ -11,6 +11,7 @@
 #if defined(ATALIB_KERNELS_AVX512)
 
 #include "blas/kernels/simd_microkernel.hpp"
+#include "blas/kernels/simd_tileops.hpp"
 
 namespace atalib::blas::kernels {
 namespace {
@@ -26,7 +27,9 @@ const KernelEntry& avx512_kernel_entry() {
   static const KernelEntry entry{Isa::kAvx512,
                                  &avx512_supported,
                                  Microkernel<float>{8, 32, &simd_microkernel<float, 16, 8, 2>},
-                                 Microkernel<double>{8, 16, &simd_microkernel<double, 8, 8, 2>}};
+                                 Microkernel<double>{8, 16, &simd_microkernel<double, 8, 8, 2>},
+                                 simd_tileops<float, 16>(),
+                                 simd_tileops<double, 8>()};
   return entry;
 }
 

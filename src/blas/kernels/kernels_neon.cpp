@@ -10,6 +10,7 @@
 #if defined(ATALIB_KERNELS_NEON)
 
 #include "blas/kernels/simd_microkernel.hpp"
+#include "blas/kernels/simd_tileops.hpp"
 
 namespace atalib::blas::kernels {
 namespace {
@@ -22,7 +23,9 @@ const KernelEntry& neon_kernel_entry() {
   static const KernelEntry entry{Isa::kNeon,
                                  &neon_supported,
                                  Microkernel<float>{6, 16, &simd_microkernel<float, 4, 6, 4>},
-                                 Microkernel<double>{6, 8, &simd_microkernel<double, 2, 6, 4>}};
+                                 Microkernel<double>{6, 8, &simd_microkernel<double, 2, 6, 4>},
+                                 simd_tileops<float, 4>(),
+                                 simd_tileops<double, 2>()};
   return entry;
 }
 

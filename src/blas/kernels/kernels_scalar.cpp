@@ -30,13 +30,45 @@ void scalar_microkernel(index_t kc, T alpha, const T* ap, const T* bp, T* c, ind
 
 bool always_supported() { return true; }
 
+// Fused level-1 row kernels, plain loops at the baseline ISA: the reference
+// the SIMD tiers are tested bitwise against, and the fallback when no SIMD
+// TU was compiled for this architecture.
+template <typename T>
+void scalar_row_add(index_t n, const T* a, const T* b, T* dst) {
+  for (index_t i = 0; i < n; ++i) dst[i] = a[i] + b[i];
+}
+template <typename T>
+void scalar_row_sub(index_t n, const T* a, const T* b, T* dst) {
+  for (index_t i = 0; i < n; ++i) dst[i] = a[i] - b[i];
+}
+template <typename T>
+void scalar_row_axpy(index_t n, T alpha, const T* x, T* y) {
+  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+template <typename T>
+void scalar_row_scale_add(index_t n, T alpha, const T* a, const T* b, T* dst) {
+  for (index_t i = 0; i < n; ++i) dst[i] = alpha * (a[i] + b[i]);
+}
+template <typename T>
+void scalar_row_scale_sub(index_t n, T alpha, const T* a, const T* b, T* dst) {
+  for (index_t i = 0; i < n; ++i) dst[i] = alpha * (a[i] - b[i]);
+}
+
+template <typename T>
+constexpr TileOps<T> scalar_tileops() {
+  return TileOps<T>{&scalar_row_add<T>, &scalar_row_sub<T>, &scalar_row_axpy<T>,
+                    &scalar_row_scale_add<T>, &scalar_row_scale_sub<T>};
+}
+
 }  // namespace
 
 const KernelEntry& scalar_kernel_entry() {
   static const KernelEntry entry{Isa::kScalar,
                                  &always_supported,
                                  Microkernel<float>{kMR, kNR, &scalar_microkernel<float>},
-                                 Microkernel<double>{kMR, kNR, &scalar_microkernel<double>}};
+                                 Microkernel<double>{kMR, kNR, &scalar_microkernel<double>},
+                                 scalar_tileops<float>(),
+                                 scalar_tileops<double>()};
   return entry;
 }
 

@@ -33,13 +33,37 @@ struct Microkernel {
              index_t nr) = nullptr;
 };
 
-/// A compiled-in ISA variant: float + double tiles plus a runtime support
-/// probe. Exactly one static instance per kernel translation unit.
+/// Fused level-1 row kernels for one scalar type — the Strassen block-sum /
+/// accumulate primitives, compiled per-ISA alongside the GEMM tile so the
+/// seven-term add/sub combinations run at native vector width instead of the
+/// baseline-ISA scalar loop. Contract (all over contiguous rows of length n):
+///   add:   dst[i] = a[i] + b[i]
+///   sub:   dst[i] = a[i] - b[i]
+///   axpy:  y[i]  += alpha * x[i]          (the C-quadrant accumulate)
+///   scale_add: dst[i] = alpha * (a[i] + b[i])
+///   scale_sub: dst[i] = alpha * (a[i] - b[i])
+/// Each element is produced by independent per-lane arithmetic (no
+/// reassociation), so vector and scalar variants agree bitwise on inputs
+/// whose sums/products are exact (the integer-input test convention).
+template <typename T>
+struct TileOps {
+  void (*add)(index_t n, const T* a, const T* b, T* dst) = nullptr;
+  void (*sub)(index_t n, const T* a, const T* b, T* dst) = nullptr;
+  void (*axpy)(index_t n, T alpha, const T* x, T* y) = nullptr;
+  void (*scale_add)(index_t n, T alpha, const T* a, const T* b, T* dst) = nullptr;
+  void (*scale_sub)(index_t n, T alpha, const T* a, const T* b, T* dst) = nullptr;
+};
+
+/// A compiled-in ISA variant: float + double GEMM tiles and fused level-1
+/// row kernels, plus a runtime support probe. Exactly one static instance
+/// per kernel translation unit.
 struct KernelEntry {
   Isa isa;
   bool (*supported)();
   Microkernel<float> f32;
   Microkernel<double> f64;
+  TileOps<float> f32_ops;
+  TileOps<double> f64_ops;
 };
 
 /// Per-TU entry accessors. Only the scalar one always exists; the others

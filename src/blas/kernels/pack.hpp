@@ -16,6 +16,8 @@
 // per-element accessor with a transpose branch.
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <optional>
 
 #include "common/aligned_buffer.hpp"
@@ -23,6 +25,15 @@
 #include "matrix/view.hpp"
 
 namespace atalib::blas::kernels {
+
+/// Process-wide count of thread-local pack-buffer (re)allocations — the
+/// fallback path PackStorage takes only for arena-less callers. Pool-worker
+/// leaves (including every Strassen base case) route packs through the slot
+/// arena, so tests assert this counter stays frozen across warm runs.
+inline std::atomic<std::uint64_t>& thread_pack_allocs() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
 
 /// Operand view honoring a transpose without materializing it.
 template <typename T>
@@ -111,9 +122,11 @@ class PackStorage {
       auto& bufs = thread_buffers();
       if (bufs.a.size() < static_cast<std::size_t>(a_elems)) {
         bufs.a = AlignedBuffer<T>(static_cast<std::size_t>(a_elems));
+        thread_pack_allocs().fetch_add(1, std::memory_order_relaxed);
       }
       if (bufs.b.size() < static_cast<std::size_t>(b_elems)) {
         bufs.b = AlignedBuffer<T>(static_cast<std::size_t>(b_elems));
+        thread_pack_allocs().fetch_add(1, std::memory_order_relaxed);
       }
       a_ = bufs.a.data();
       b_ = bufs.b.data();

@@ -165,6 +165,36 @@ const KernelConfig<T>& active_config() {
   return *try_config<T>(Isa::kScalar);
 }
 
+namespace {
+
+template <typename T>
+const TileOps<T>& entry_tileops(const KernelEntry& e);
+template <>
+const TileOps<float>& entry_tileops<float>(const KernelEntry& e) {
+  return e.f32_ops;
+}
+template <>
+const TileOps<double>& entry_tileops<double>(const KernelEntry& e) {
+  return e.f64_ops;
+}
+
+}  // namespace
+
+template <typename T>
+const TileOps<T>& active_tileops() {
+  // Same pinning rules as active_config(); tile ops need no blocking or
+  // cacheinfo, so the entry table is consulted directly.
+  const int forced = forced_state().load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    const KernelEntry* e = find_compiled(static_cast<Isa>(forced));
+    if (e != nullptr && e->supported()) return entry_tileops<T>(*e);
+  }
+  for (const KernelEntry* e : compiled_kernels()) {
+    if (e->supported()) return entry_tileops<T>(*e);
+  }
+  return entry_tileops<T>(scalar_kernel_entry());
+}
+
 template <typename T>
 const KernelConfig<T>& config_for(Isa isa) {
   if (const KernelConfig<T>* cfg = try_config<T>(isa)) return *cfg;
@@ -193,6 +223,7 @@ index_t pack_bound(index_t m, index_t n, index_t k) {
 
 #define ATALIB_KERNELS_INST(T)                                                        \
   template const KernelConfig<T>& active_config<T>();                                 \
+  template const TileOps<T>& active_tileops<T>();                                     \
   template const KernelConfig<T>& config_for<T>(Isa);                                 \
   template PackExtents pack_extents<T>(const KernelConfig<T>&, index_t, index_t,      \
                                        index_t);                                      \

@@ -67,6 +67,13 @@ std::optional<Isa> forced_isa();
 template <typename T>
 const KernelConfig<T>& active_config();
 
+/// The fused level-1 row kernels (add/sub/axpy and their alpha-scaled
+/// forms) the current dispatch selects for dtype T. Follows the same
+/// forced-ISA / env pinning as active_config(), so the forced-scalar leg
+/// runs the scalar row loops everywhere.
+template <typename T>
+const TileOps<T>& active_tileops();
+
 /// Config for a specific ISA; throws std::invalid_argument if unavailable.
 template <typename T>
 const KernelConfig<T>& config_for(Isa isa);
@@ -83,6 +90,7 @@ index_t pack_bound(index_t m, index_t n, index_t k);
 
 #define ATALIB_KERNELS_EXTERN(T)                                                      \
   extern template const KernelConfig<T>& active_config<T>();                          \
+  extern template const TileOps<T>& active_tileops<T>();                              \
   extern template const KernelConfig<T>& config_for<T>(Isa);                          \
   extern template PackExtents pack_extents<T>(const KernelConfig<T>&, index_t,        \
                                               index_t, index_t);                      \

@@ -3,29 +3,40 @@
 #include <algorithm>
 #include <cassert>
 
+#include "blas/kernels/registry.hpp"
+
 namespace atalib::blas {
+
+// The row bodies dispatch to the registry's fused per-ISA tile kernels
+// (kernels::active_tileops): one dispatch per call, then every full-extent
+// row runs at native vector width. Ragged cells from the virtual-padding
+// convention (operands up to one row/column short) stay scalar — they are
+// O(rows + cols) against the O(rows * cols) interior.
 
 template <typename T>
 void axpy(index_t n, T alpha, const T* x, T* y) {
-  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  kernels::active_tileops<T>().axpy(n, alpha, x, y);
 }
 
 template <typename T>
 void view_axpy(T alpha, ConstMatrixView<T> x, MatrixView<T> y) {
   assert(x.rows <= y.rows && x.cols <= y.cols);
   assert(y.rows - x.rows <= 1 && y.cols - x.cols <= 1);
+  const kernels::TileOps<T>& ops = kernels::active_tileops<T>();
   for (index_t i = 0; i < x.rows; ++i) {
-    axpy(x.cols, alpha, x.data + i * x.stride, y.data + i * y.stride);
+    ops.axpy(x.cols, alpha, x.data + i * x.stride, y.data + i * y.stride);
   }
 }
 
 namespace {
 
 // Shared skeleton for dst = a OP b with virtual zero padding. The hot path
-// (both operands full extent) runs a fused row loop; the ragged last
+// (both operands full extent) runs the fused row kernel; the ragged last
 // row/column is handled separately so the inner loop stays branch-free.
-template <typename T, typename Op>
-void block_combine(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> dst, Op op) {
+// `row` is the vectorized row kernel, `op` the matching scalar for edges.
+template <typename T, typename Row, typename Op>
+void block_combine(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> dst, Row row,
+                   Op op) {
   assert(a.rows <= dst.rows && a.cols <= dst.cols);
   assert(b.rows <= dst.rows && b.cols <= dst.cols);
   assert(dst.rows - a.rows <= 1 && dst.cols - a.cols <= 1);
@@ -38,7 +49,7 @@ void block_combine(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> dst
     const T* pa = a.data + i * a.stride;
     const T* pb = b.data + i * b.stride;
     T* pd = dst.data + i * dst.stride;
-    for (index_t j = 0; j < common_cols; ++j) pd[j] = op(pa[j], pb[j]);
+    row(common_cols, pa, pb, pd);
     // Columns where exactly one operand exists.
     for (index_t j = common_cols; j < a.cols; ++j) pd[j] = op(pa[j], T(0));
     for (index_t j = common_cols; j < b.cols; ++j) pd[j] = op(T(0), pb[j]);
@@ -68,12 +79,14 @@ void block_combine(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> dst
 
 template <typename T>
 void block_add(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> dst) {
-  block_combine(a, b, dst, [](T x, T y) { return x + y; });
+  block_combine(a, b, dst, kernels::active_tileops<T>().add,
+                [](T x, T y) { return x + y; });
 }
 
 template <typename T>
 void block_sub(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> dst) {
-  block_combine(a, b, dst, [](T x, T y) { return x - y; });
+  block_combine(a, b, dst, kernels::active_tileops<T>().sub,
+                [](T x, T y) { return x - y; });
 }
 
 template <typename T>

@@ -32,14 +32,15 @@ index_t leaf_op_workspace(const sched::LeafOp& op, LeafEngine engine,
                           const RecurseOptions& opts) {
   if (engine != LeafEngine::kStrassen) {
     // kBlas leaves draw their packed panels from the caller arena, keeping
-    // the PR 3 warm path malloc-free on pool workers. (The Strassen engine's
-    // *internal* base-case gemms still use thread-local pack buffers, so its
-    // arena bounds below are unchanged — see strassen/workspace.cpp.)
+    // the PR 3 warm path malloc-free on pool workers.
     if (op.kind == sched::LeafOp::Kind::kSyrk) {
       return blas::syrk_workspace_bound<T>(op.a.rows, op.a.cols);
     }
     return blas::gemm_workspace_bound<T>(op.a.cols, op.b.cols, op.a.rows);
   }
+  // kStrassen leaves: the bound covers the recursion temporaries AND the
+  // engine's internal base-case pack buffers (strassen/workspace.cpp), so a
+  // warm Strassen leaf on a pool worker is malloc-free end to end.
   if (op.kind == sched::LeafOp::Kind::kSyrk) {
     return ata_workspace_bound(op.a.rows, op.a.cols, opts, sizeof(T));
   }

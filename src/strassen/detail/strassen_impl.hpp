@@ -6,7 +6,12 @@
 // ablation baseline; only where the three per-level temporaries come from
 // differs. WorkspacePolicy provides:
 //   LevelScope level(index_t ta_elems, index_t tb_elems, index_t mt_elems)
-// where LevelScope exposes T* ta(), tb(), mt() and releases on destruction.
+// where LevelScope exposes T* ta(), tb(), mt() and releases on destruction,
+// plus gemm_arena(): the Arena the base-case multiplies draw their packed
+// panels from (nullptr = the leaf kernel's thread-local fallback). Routing
+// the leaves through the same arena as the recursion temporaries is what
+// keeps a pool worker's Strassen leaf malloc-free once its slot arena is
+// warm — see strassen/workspace.cpp for the combined bound.
 //
 // See strassen.hpp for the derivation of block shapes and tight extents.
 
@@ -31,7 +36,7 @@ void strassen_rec(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixVie
   assert(b.rows == m && c.rows == n && c.cols == k);
   if (n == 0 || k == 0 || m == 0) return;
   if (gemm_base_case(m, n, k, base_elements, opts.min_dim)) {
-    blas::gemm_tn(alpha, a, b, c);
+    blas::gemm_tn(alpha, a, b, c, ws.gemm_arena());
     return;
   }
   strassen_level(alpha, a, b, c, ws, base_elements, opts);

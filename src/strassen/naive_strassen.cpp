@@ -30,6 +30,10 @@ struct MallocPolicy {
   LevelScope level(index_t ta_n, index_t tb_n, index_t mt_n) {
     return LevelScope(ta_n, tb_n, mt_n);
   }
+
+  /// The allocating baseline keeps the leaf kernel's thread-local pack
+  /// buffers — it models the no-preallocation world §3.3 improves on.
+  Arena<T>* gemm_arena() { return nullptr; }
 };
 
 }  // namespace

@@ -10,6 +10,12 @@
 
 namespace atalib {
 
+/// Measured auto-tuned base-case threshold for scalars of `elem_bytes`
+/// bytes (strassen/tuner.cpp): registry gemm vs one Strassen level across a
+/// size ladder, cached in ATALIB_TUNING_CACHE, falling back to the static
+/// cache probe when no crossover is found or under the forced-scalar env.
+index_t tuned_base_case_elements(std::size_t elem_bytes);
+
 /// Recursion cut-off options. The algorithms are cache-oblivious: these
 /// thresholds only pick the hand-off point to the leaf BLAS kernel
 /// (Algorithm 1 line 2: "if m x n <= cache size").
@@ -23,10 +29,14 @@ struct RecurseOptions {
   /// extra block sums regardless of cache footprint.
   index_t min_dim = 8;
 
-  /// Resolve base_case_elements (probing the cache if it is 0).
+  /// Resolve base_case_elements. 0 = auto: consult the measured tuner
+  /// (memoized per ISA/dtype, file-cached), which itself falls back to the
+  /// static cache probe. Plan keys store the *resolved* value so a cached
+  /// plan's schedule and workspace bounds can never drift from the cut-off
+  /// the leaves actually run with.
   index_t resolved_base_elements(std::size_t elem_bytes) const {
     if (base_case_elements > 0) return base_case_elements;
-    return static_cast<index_t>(default_base_case_elements(elem_bytes));
+    return tuned_base_case_elements(elem_bytes);
   }
 };
 

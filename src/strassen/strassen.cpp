@@ -37,6 +37,10 @@ struct ArenaPolicy {
   LevelScope level(index_t ta_n, index_t tb_n, index_t mt_n) {
     return LevelScope(arena, ta_n, tb_n, mt_n);
   }
+
+  /// Base-case gemms pack into the same arena (checkpoint-scoped inside the
+  /// leaf call), so a warm Strassen run performs zero heap allocations.
+  Arena<T>* gemm_arena() { return &arena; }
 };
 
 }  // namespace

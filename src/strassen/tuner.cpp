@@ -1,0 +1,168 @@
+#include "strassen/tuner.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "blas/gemm.hpp"
+#include "blas/kernels/registry.hpp"
+#include "common/cacheinfo.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "matrix/matrix.hpp"
+#include "strassen/strassen.hpp"
+#include "strassen/workspace.hpp"
+
+namespace atalib::strassen {
+namespace {
+
+bool env_forces_scalar() {
+  const char* v = std::getenv("ATALIB_FORCE_SCALAR_KERNELS");
+  return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+}
+
+const char* dtype_tag(std::size_t elem_bytes) {
+  return elem_bytes == sizeof(float) ? "f32" : "f64";
+}
+
+/// Memo / cache-file key: the tuned value is a property of (ISA, dtype) on
+/// this machine, so forced-ISA toggles in tests re-tune rather than reuse a
+/// crossover measured on a different tier.
+template <typename T>
+std::string tuning_key() {
+  std::ostringstream os;
+  os << blas::kernels::isa_name(blas::kernels::active_config<T>().isa) << ' '
+     << dtype_tag(sizeof(T));
+  return os.str();
+}
+
+/// Time the registry gemm against exactly one Strassen level at square size
+/// n and return the crossover threshold, or 0 if Strassen never wins on the
+/// ladder. base = n*n makes the top (n, n, n) call recurse (footprint 2n^2)
+/// while all seven half-size children fire the base case (footprint ~n^2/2),
+/// so the comparison isolates "one level of Strassen + fused adds" against
+/// "one registry gemm" — the quantity the cut-off actually trades.
+template <typename T>
+index_t measure_crossover() {
+  constexpr index_t kLadder[] = {96, 128, 160, 192, 256, 320};
+  constexpr int kReps = 3;
+  const index_t nmax = kLadder[sizeof(kLadder) / sizeof(kLadder[0]) - 1];
+
+  Matrix<T> a(nmax, nmax), b(nmax, nmax), c(nmax, nmax);
+  Xoshiro256 rng(0x5eed5eedULL);
+  for (index_t i = 0; i < nmax * nmax; ++i) {
+    a.data()[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
+    b.data()[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
+    c.data()[i] = T(0);
+  }
+
+  for (const index_t n : kLadder) {
+    const ConstMatrixView<T> av(a.data(), n, n, nmax);
+    const ConstMatrixView<T> bv(b.data(), n, n, nmax);
+    MatrixView<T> cv(c.data(), n, n, nmax);
+
+    const double t_gemm =
+        min_time_of([&] { blas::gemm_tn(T(1), av, bv, cv); }, kReps);
+
+    RecurseOptions one_level;
+    one_level.base_case_elements = n * n;  // explicit: never re-enters the tuner
+    Arena<T> arena(static_cast<std::size_t>(
+        strassen_workspace_bound(n, n, n, one_level, sizeof(T))));
+    const double t_strassen =
+        min_time_of([&] { strassen_tn(T(1), av, bv, cv, arena, one_level); }, kReps);
+
+    if (t_strassen < t_gemm) {
+      // Smallest ladder size where one Strassen level wins: pick the largest
+      // base budget that still makes (n, n, n) recurse.
+      return 2 * n * n - 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+index_t Tuner::load_cached(const std::string& key) const {
+  if (cache_path_.empty()) return 0;
+  std::ifstream in(cache_path_);
+  if (!in) return 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string isa, dtype;
+    long long value = 0;
+    if ((ls >> isa >> dtype >> value) && isa + ' ' + dtype == key && value > 0) {
+      return static_cast<index_t>(value);
+    }
+  }
+  return 0;
+}
+
+void Tuner::store(const std::string& key, index_t value) const {
+  if (cache_path_.empty()) return;
+  // Rewrite the file keeping other (isa, dtype) entries; best-effort — a
+  // missing or unwritable cache only costs a re-measurement next process.
+  std::ostringstream out;
+  {
+    std::ifstream in(cache_path_);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      std::istringstream ls(line);
+      std::string isa, dtype;
+      if ((ls >> isa >> dtype) && isa + ' ' + dtype == key) continue;
+      if (!line.empty()) out << line << '\n';
+    }
+  }
+  out << key << ' ' << value << '\n';
+  std::ofstream f(cache_path_, std::ios::trunc);
+  if (f) f << out.str();
+}
+
+index_t Tuner::base_case_elements(std::size_t elem_bytes) {
+  const index_t probed =
+      static_cast<index_t>(default_base_case_elements(elem_bytes));
+  // The forced-scalar CI leg must behave identically across machines, so it
+  // ignores both the cache file and the measurement.
+  if (env_forces_scalar()) return probed;
+
+  const std::string key = elem_bytes == sizeof(float) ? tuning_key<float>()
+                                                      : tuning_key<double>();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  index_t value = load_cached(key);
+  if (value == 0) {
+    const index_t measured = elem_bytes == sizeof(float)
+                                 ? measure_crossover<float>()
+                                 : measure_crossover<double>();
+    // No crossover on the ladder -> the static cache probe is the best
+    // information we have. Clamp a measured value so a noisy run cannot
+    // produce a degenerate cut-off.
+    value = measured == 0 ? probed
+                          : std::min(std::max<index_t>(measured, 1024), 4 * probed);
+    store(key, value);
+  }
+  memo_.emplace(key, value);
+  return value;
+}
+
+Tuner& Tuner::global() {
+  static Tuner tuner = [] {
+    const char* path = std::getenv("ATALIB_TUNING_CACHE");
+    return Tuner(path != nullptr ? std::string(path) : std::string());
+  }();
+  return tuner;
+}
+
+}  // namespace atalib::strassen
+
+namespace atalib {
+
+index_t tuned_base_case_elements(std::size_t elem_bytes) {
+  return strassen::Tuner::global().base_case_elements(elem_bytes);
+}
+
+}  // namespace atalib

@@ -1,0 +1,54 @@
+#pragma once
+// Measured auto-tuning of the Strassen base-case cut-off (DESIGN.md §6).
+//
+// RecurseOptions::base_case_elements == 0 means "auto". Historically that
+// resolved to a static cache-probe heuristic (half of L2); the Tuner replaces
+// it with a measurement: on first use it times the registry gemm against one
+// Strassen level across a small square-size ladder and converts the observed
+// crossover n* into the footprint threshold 2*n*^2 - 1 (the largest base
+// budget that still makes an n* x n* x n* product recurse). The result is
+// memoized per (active ISA, dtype) for the process lifetime and persisted to
+// an optional cache file so later processes skip the measurement entirely.
+//
+// The measurement runs with explicit non-zero cut-offs, so it can never
+// re-enter the tuner, and it happens at plan-build / first-call time in the
+// caller's thread — never inside a pool worker's warm path.
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "matrix/view.hpp"
+
+namespace atalib::strassen {
+
+class Tuner {
+ public:
+  /// Tuner persisting to `cache_path` ("" = in-memory only). Tests use this
+  /// to seed a temp file and check determinism.
+  explicit Tuner(std::string cache_path) : cache_path_(std::move(cache_path)) {}
+
+  /// Base-case threshold (elements) for scalars of `elem_bytes` bytes on the
+  /// currently dispatched ISA. Order of resolution: process memo -> cache
+  /// file -> ladder measurement (which then populates both). Falls back to
+  /// the static cache-probe default when the measurement finds no crossover
+  /// or when ATALIB_FORCE_SCALAR_KERNELS pins the process to the scalar
+  /// tier (that CI leg must not depend on machine-speed measurements).
+  index_t base_case_elements(std::size_t elem_bytes);
+
+  /// Process-wide tuner; cache path read once from ATALIB_TUNING_CACHE.
+  static Tuner& global();
+
+ private:
+  index_t load_cached(const std::string& key) const;
+  void store(const std::string& key, index_t value) const;
+  index_t measure(std::size_t elem_bytes) const;
+
+  std::mutex mu_;
+  std::string cache_path_;
+  std::map<std::string, index_t> memo_;
+};
+
+}  // namespace atalib::strassen

@@ -1,5 +1,9 @@
 #include "strassen/workspace.hpp"
 
+#include <algorithm>
+
+#include "blas/gemm.hpp"
+#include "blas/syrk.hpp"
 #include "matrix/view.hpp"
 
 namespace atalib {
@@ -14,42 +18,101 @@ bool ata_base_case(index_t m, index_t n, index_t base_elements, index_t min_dim)
   return m * n <= base_elements;
 }
 
+namespace {
+
+index_t gemm_pack(index_t out_rows, index_t out_cols, index_t depth, std::size_t elem_bytes) {
+  return elem_bytes == sizeof(float)
+             ? blas::gemm_workspace_bound<float>(out_rows, out_cols, depth)
+             : blas::gemm_workspace_bound<double>(out_rows, out_cols, depth);
+}
+
+index_t syrk_pack(index_t m, index_t n, std::size_t elem_bytes) {
+  return elem_bytes == sizeof(float) ? blas::syrk_workspace_bound<float>(m, n)
+                                     : blas::syrk_workspace_bound<double>(m, n);
+}
+
+// Closed interval of values one recursion dimension can take at some level.
+// Halving a [lo, hi] range yields [half_down(lo), half_up(hi)], which covers
+// both the ceil (first) and floor (second) child of every member, so a walk
+// over ranges covers every node of the recursion tree level by level.
+struct Range {
+  index_t lo, hi;
+
+  Range halved() const { return {half_down(lo), half_up(hi)}; }
+};
+
+// Workspace bound for strassen_tn valid for EVERY shape (m, n, k) inside the
+// box rm x rn x rk (a single shape is the degenerate box lo == hi).
+//
+// Two components share the arena:
+//  * Recursion temporaries: only one child is live at a time and the ceil
+//    child has the largest dims, so the all-ceil path taken from the box's
+//    hi corner dominates the live TA + TB + M prefix of any node.
+//  * Leaf packed panels: the base-case gemm bump-allocates its packed A/B
+//    panels from the same arena (checkpoint-scoped). gemm_base_case is
+//    monotone (shrinking a dim never un-fires it), so if the box's lo corner
+//    does not fire, no shape in the box fires at this level; when it can
+//    fire, the hi corner's pack bound covers every firing shape in the box
+//    because pack extents are monotone in each dim.
+// The temporaries prefix at the level a leaf fires is <= the full-path sum,
+// so total = full temp sum + max leaf pack is a safe (and in practice tight)
+// peak for the arena.
+index_t strassen_bound_box(Range rm, Range rn, Range rk, index_t base, index_t min_dim,
+                           std::size_t elem_bytes) {
+  if (rm.hi == 0 || rn.hi == 0 || rk.hi == 0) return 0;
+  index_t temps = 0;
+  index_t leaf = 0;
+  while (true) {
+    if (gemm_base_case(rm.lo, rn.lo, rk.lo, base, min_dim)) {
+      // gemm_tn leaf: C (n x k) += A(m x n)^T B(m x k) -> output n x k,
+      // contraction depth m.
+      leaf = std::max(leaf, gemm_pack(rn.hi, rk.hi, rm.hi, elem_bytes));
+    }
+    if (gemm_base_case(rm.hi, rn.hi, rk.hi, base, min_dim)) break;
+    const index_t m1 = half_up(rm.hi), n1 = half_up(rn.hi), k1 = half_up(rk.hi);
+    temps += m1 * n1 + m1 * k1 + n1 * k1;  // TA + TB + M for this level
+    rm = rm.halved();
+    rn = rn.halved();
+    rk = rk.halved();
+  }
+  return temps + leaf;
+}
+
+}  // namespace
+
 index_t strassen_workspace_bound(index_t m, index_t n, index_t k, const RecurseOptions& opts,
                                  std::size_t elem_bytes) {
   const index_t base = opts.resolved_base_elements(elem_bytes);
-  index_t total = 0;
-  // Only one child is live at a time and every child has ceil-half dims, so
-  // the deepest path dominates: walk it iteratively. The base-case gemms at
-  // the bottom of the recursion take no arena pointer (their packed panels
-  // come from thread-local pack buffers, see blas/kernels/pack.hpp), so this
-  // bound stays pure recursion temporaries.
-  while (!gemm_base_case(m, n, k, base, opts.min_dim)) {
-    const index_t m1 = half_up(m), n1 = half_up(n), k1 = half_up(k);
-    total += m1 * n1 + m1 * k1 + n1 * k1;  // TA + TB + M for this level
-    m = m1;
-    n = n1;
-    k = k1;
-  }
-  return total;
+  return strassen_bound_box({m, m}, {n, n}, {k, k}, base, opts.min_dim, elem_bytes);
 }
 
 index_t ata_workspace_bound(index_t m, index_t n, const RecurseOptions& opts,
                             std::size_t elem_bytes) {
   const index_t base = opts.resolved_base_elements(elem_bytes);
-  // AtA recurses on quadrants without temporaries; workspace is consumed
-  // only by the FastStrassen call sites C21 += A12^T A11 and
-  // C21 += A22^T A21 (sizes (m1, n2, n1) and (m2, n2, n1)) and by the same
-  // sites of every AtA sub-problem. Because AtA sub-problems have dims
-  // (m1, n1) etc. and Strassen needs are monotone in each dim, the top
-  // level's larger Strassen call dominates; we still take the max over the
-  // recursion to stay exact for degenerate aspect ratios.
-  if (ata_base_case(m, n, base, opts.min_dim)) return 0;
-  const index_t m1 = half_up(m);
-  const index_t n1 = half_up(n), n2 = half_down(n);
-  // strassen_workspace_bound is monotone in every dimension, and all AtA
-  // sub-problems have dims <= (m1, n1) <= (m, n), so the top level's larger
-  // Strassen call site (m1, n2, n1) dominates every deeper call site.
-  return strassen_workspace_bound(m1, n2, n1, opts, elem_bytes);
+  if (m == 0 || n == 0) return 0;
+  // The AtA recursion itself adds no temporaries; the arena is consumed by
+  //  * base-case syrk_ln leaves (packed panels, checkpoint-scoped), and
+  //  * the FastStrassen call sites C21 += A12^T A11 / C21 += A22^T A21 of
+  //    every sub-problem, whose (m, n, k) dims are exactly the halved dims
+  //    of that sub-problem: m in {m1, m2}, n = n2, k = n1.
+  // The two never overlap in time, so the bound is the max over both, taken
+  // level by level with the same range walk as the Strassen bound: at each
+  // level every sub-problem's (m, n) lies inside rm x rn.
+  Range rm{m, m}, rn{n, n};
+  index_t bound = 0;
+  while (true) {
+    if (ata_base_case(rm.lo, rn.lo, base, opts.min_dim)) {
+      bound = std::max(bound, syrk_pack(rm.hi, rn.hi, elem_bytes));
+    }
+    if (ata_base_case(rm.hi, rn.hi, base, opts.min_dim)) break;
+    const Range sm = rm.halved();                       // m1 or m2 of some sub-problem
+    const Range sn2{half_down(rn.lo), half_down(rn.hi)};  // strassen n = n2
+    const Range sn1{half_up(rn.lo), half_up(rn.hi)};      // strassen k = n1
+    bound = std::max(bound, strassen_bound_box(sm, sn2, sn1, base, opts.min_dim, elem_bytes));
+    rm = rm.halved();
+    rn = rn.halved();
+  }
+  return bound;
 }
 
 }  // namespace atalib

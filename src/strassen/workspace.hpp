@@ -8,8 +8,16 @@
 // recursion level bump-allocates its TA (A-side sum, <= m1 x n1), TB
 // (B-side sum, <= m1 x k1) and M (product temp, <= n1 x k1) and releases
 // them on unwind, so the live set is exactly the M/P/Q prefix scheme and
-// the peak equals sum over levels of (m_l*n_l + m_l*k_l + n_l*k_l)
+// the temp peak equals sum over levels of (m_l*n_l + m_l*k_l + n_l*k_l)
 // <= (mn + mk + nk)/3 + lower-order terms — the paper's 3/2 n^2 for square.
+//
+// On top of the paper's scheme, the base-case leaves (gemm_tn under
+// Strassen, syrk_ln under AtA) draw their packed panels from the *same*
+// arena, checkpoint-scoped, so a warm run performs zero heap allocations
+// end to end. The bounds below therefore include the worst leaf pack
+// footprint, found by walking the recursion level by level: ceil/floor
+// halving keeps each dimension inside a one-wide [lo, hi] range per level,
+// so checking the range corners covers every node of the tree.
 
 #include "common/arena.hpp"
 #include "strassen/options.hpp"
@@ -17,12 +25,14 @@
 namespace atalib {
 
 /// Elements of workspace needed by strassen_tn on an (m x n)^T (m x k)
-/// product with the given recursion options.
+/// product with the given recursion options: recursion temporaries plus the
+/// worst base-case gemm pack footprint.
 index_t strassen_workspace_bound(index_t m, index_t n, index_t k, const RecurseOptions& opts,
                                  std::size_t elem_bytes);
 
-/// Elements of workspace needed by AtA on an m x n input: the maximum of
-/// its two Strassen call sites (the AtA recursion itself adds none).
+/// Elements of workspace needed by AtA on an m x n input: the maximum over
+/// its Strassen call sites and base-case syrk pack footprints (the AtA
+/// recursion itself adds none).
 index_t ata_workspace_bound(index_t m, index_t n, const RecurseOptions& opts,
                             std::size_t elem_bytes);
 

@@ -3,12 +3,26 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "api/execute.hpp"
+#include "api/plan_cache.hpp"
+#include "ata/ata.hpp"
+#include "blas/gemm.hpp"
+#include "blas/kernels/pack.hpp"
+#include "blas/kernels/registry.hpp"
 #include "blas/reference.hpp"
 #include "common/arena.hpp"
+#include "common/cacheinfo.hpp"
 #include "matrix/compare.hpp"
 #include "matrix/generate.hpp"
+#include "parallel/ata_shared.hpp"
+#include "runtime/thread_pool.hpp"
 #include "strassen/naive_strassen.hpp"
 #include "strassen/strassen.hpp"
+#include "strassen/tuner.hpp"
 #include "strassen/workspace.hpp"
 
 namespace atalib {
@@ -140,16 +154,154 @@ TEST(Strassen, FloatPrecisionWithinStrassenTolerance) {
 }
 
 TEST(Strassen, LargeBaseCaseShortCircuitsToBlas) {
-  // With a huge threshold the call is just one blas::gemm_tn and needs no
-  // workspace.
+  // With a huge threshold the call is one blas::gemm_tn; its only workspace
+  // need is the leaf's packed panels, which now come from the same arena.
   RecurseOptions opts;
   opts.base_case_elements = 1 << 28;
   auto a = random_integer<double>(40, 40, 3, 11);
   auto b = random_integer<double>(40, 40, 3, 12);
   auto c = Matrix<double>::zeros(40, 40);
-  EXPECT_EQ(strassen_workspace_bound(40, 40, 40, opts, sizeof(double)), 0);
-  Arena<double> arena(0);
+  const index_t bound = strassen_workspace_bound(40, 40, 40, opts, sizeof(double));
+  EXPECT_EQ(bound, blas::gemm_workspace_bound<double>(40, 40, 40));
+  Arena<double> arena(static_cast<std::size_t>(bound));
   EXPECT_NO_THROW(strassen_tn(1.0, a.const_view(), b.const_view(), c.view(), arena, opts));
+  EXPECT_GT(arena.high_water(), 0u);  // the leaf really packed from the arena
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+// ---- Registry-backed leaves vs forced-scalar (bitwise) ------------------
+
+namespace kn = blas::kernels;
+
+struct ForcedIsa {
+  explicit ForcedIsa(kn::Isa isa) { kn::set_forced_isa(isa); }
+  ~ForcedIsa() { kn::set_forced_isa(std::nullopt); }
+};
+
+TEST(Strassen, RegistryLeavesMatchForcedScalarBitwise) {
+  // Integer inputs make every add/sub/axpy and microkernel product exact, so
+  // the SIMD tile kernels must agree with the scalar loops to the last bit —
+  // across MR/NR-edge and odd-prime shapes that exercise ragged tails.
+  if (kn::available_kernels().size() < 2) {
+    GTEST_SKIP() << "only the scalar kernel is available on this CPU";
+  }
+  const RecurseOptions opts = tiny_base();
+  for (const auto& s : {Shape{48, 48, 48}, Shape{33, 29, 31}, Shape{17, 19, 23},
+                        Shape{13, 41, 37}, Shape{64, 63, 65}, Shape{12, 16, 40}}) {
+    auto a = random_integer<double>(s.m, s.n, 3, 21);
+    auto b = random_integer<double>(s.m, s.k, 3, 22);
+    auto c_fast = Matrix<double>::zeros(s.n, s.k);
+    auto c_scalar = Matrix<double>::zeros(s.n, s.k);
+    fast_strassen(1.0, a.const_view(), b.const_view(), c_fast.view(), opts);
+    {
+      ForcedIsa scalar(kn::Isa::kScalar);
+      fast_strassen(1.0, a.const_view(), b.const_view(), c_scalar.view(), opts);
+    }
+    EXPECT_EQ(max_abs_diff<double>(c_fast.const_view(), c_scalar.const_view()), 0.0)
+        << "m=" << s.m << " n=" << s.n << " k=" << s.k;
+  }
+}
+
+// ---- Warm-path acceptance: Strassen leaves allocate nothing -------------
+
+TEST(Strassen, WarmStrassenLeavesAllocateNothing) {
+  // Mirror of the kBlas warm-path test: once the pool slots are warm, a
+  // Strassen-engine execute() must neither grow a slot slab nor touch the
+  // thread-local pack fallback — every leaf packs from the slot arena.
+  runtime::ThreadPool pool(4);
+  api::PlanCache cache(2);
+  SharedOptions so;
+  so.threads = 4;
+  so.oversub = 2;
+  so.recurse = tiny_base();
+  so.engine = LeafEngine::kStrassen;
+  const index_t m = 120, n = 96;
+  const auto a = random_integer<double>(m, n, 3, 77);
+  auto c_ref = Matrix<double>::zeros(n, n);
+  ata(1.0, a.const_view(), c_ref.view(), so.recurse);
+
+  const auto plan = cache.get_or_build(api::shared_plan_key(api::dtype_of<double>(), m, n, so));
+  auto c = Matrix<double>::zeros(n, n);
+  api::execute(*plan, 1.0, a.const_view(), c.view(), &pool);  // cold: slabs may grow
+
+  std::size_t grows_warm = 0;
+  for (int s = 0; s < pool.concurrency(); ++s) grows_warm += pool.workspace(s).grow_count();
+  const std::uint64_t packs_warm = kn::thread_pack_allocs().load();
+  for (int rep = 0; rep < 5; ++rep) {
+    fill_view(c.view(), 0.0);
+    api::execute(*plan, 1.0, a.const_view(), c.view(), &pool);
+    EXPECT_EQ(max_abs_diff_lower<double>(c.const_view(), c_ref.const_view()), 0.0);
+  }
+  std::size_t grows_after = 0;
+  for (int s = 0; s < pool.concurrency(); ++s) grows_after += pool.workspace(s).grow_count();
+  EXPECT_EQ(grows_after, grows_warm) << "warm Strassen leaves must not grow slot slabs";
+  EXPECT_EQ(kn::thread_pack_allocs().load(), packs_warm)
+      << "warm Strassen leaves must never fall back to thread-local pack buffers";
+}
+
+// ---- Tuner --------------------------------------------------------------
+
+bool scalar_env_forced() {
+  const char* v = std::getenv("ATALIB_FORCE_SCALAR_KERNELS");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+TEST(StrassenTuner, SeededCacheFileIsDeterministicAndFeedsPlanKey) {
+  if (scalar_env_forced()) {
+    GTEST_SKIP() << "tuner is bypassed under ATALIB_FORCE_SCALAR_KERNELS";
+  }
+  const std::string path = testing::TempDir() + "atalib_tuning_seeded.txt";
+  const char* isa = kn::isa_name(kn::active_config<double>().isa);
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << isa << " f64 7777\n" << isa << " f32 5555\n";
+  }
+  strassen::Tuner t1(path), t2(path);
+  EXPECT_EQ(t1.base_case_elements(sizeof(double)), 7777);
+  EXPECT_EQ(t1.base_case_elements(sizeof(float)), 5555);
+  // Same cache file -> same cut-off, no re-measurement drift.
+  EXPECT_EQ(t2.base_case_elements(sizeof(double)), t1.base_case_elements(sizeof(double)));
+  // The resolved cut-off is what plan keys carry, so equal tuning gives
+  // equal keys (and distinct explicit cut-offs give distinct keys).
+  SharedOptions so;
+  so.threads = 2;
+  so.recurse.base_case_elements = t1.base_case_elements(sizeof(double));
+  const auto k1 = api::shared_plan_key(api::dtype_of<double>(), 64, 48, so);
+  const auto k2 = api::shared_plan_key(api::dtype_of<double>(), 64, 48, so);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1.base_case_elements, 7777);
+  std::remove(path.c_str());
+}
+
+TEST(StrassenTuner, ForcedScalarEnvIgnoresTunerAndCacheFile) {
+  if (!scalar_env_forced()) {
+    GTEST_SKIP() << "set ATALIB_FORCE_SCALAR_KERNELS to exercise the bypass";
+  }
+  // The forced-scalar CI leg must be machine-independent: even a seeded
+  // cache file is ignored and the static cache probe wins.
+  const std::string path = testing::TempDir() + "atalib_tuning_ignored.txt";
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << "scalar f64 7777\nscalar f32 5555\n";
+  }
+  strassen::Tuner tuner(path);
+  EXPECT_EQ(tuner.base_case_elements(sizeof(double)),
+            static_cast<index_t>(default_base_case_elements(sizeof(double))));
+  EXPECT_EQ(tuner.base_case_elements(sizeof(float)),
+            static_cast<index_t>(default_base_case_elements(sizeof(float))));
+  std::remove(path.c_str());
+}
+
+TEST(StrassenTuner, ResolvedCutoffLandsInPlanKey) {
+  // Explicit cut-offs pass through resolution untouched; 0 resolves to a
+  // positive tuned value, so cached plans can never carry the "auto" marker.
+  SharedOptions so;
+  so.threads = 2;
+  so.recurse.base_case_elements = 4096;
+  const auto k = api::shared_plan_key(api::dtype_of<double>(), 64, 48, so);
+  EXPECT_EQ(k.base_case_elements, 4096);
+  RecurseOptions auto_opts;
+  EXPECT_GT(auto_opts.resolved_base_elements(sizeof(double)), 0);
 }
 
 }  // namespace

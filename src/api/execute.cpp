@@ -183,10 +183,19 @@ void execute(const AtaPlan& plan, T alpha, ConstMatrixView<T> a, MatrixView<T> c
   // Width p caps the fork-join engine at the planned thread count; the
   // pool treats it as advisory (see Executor::run) — its idle workers may
   // still steal, which is always safe on write-disjoint tasks.
-  exec.run(
-      ntasks,
-      [&](int t, runtime::TaskContext& ctx) { run_plan_task(plan, t, alpha, a, c, ctx); },
-      plan.key().p);
+  auto body = [&](int t, runtime::TaskContext& ctx) {
+    run_plan_task(plan, t, alpha, a, c, ctx);
+  };
+  const int nnodes = exec.numa_nodes();
+  if (nnodes > 1) {
+    // Pin the plan's write-disjoint C stripes to nodes round-robin so each
+    // stripe's packed panels and output pages stay node-local; flat
+    // executors skip the hint machinery entirely.
+    exec.run_placed(ntasks, body, plan.key().p,
+                    [&plan, nnodes](int t) { return plan.preferred_node(t, nnodes); });
+  } else {
+    exec.run(ntasks, body, plan.key().p);
+  }
 }
 
 template <typename T>
@@ -196,6 +205,14 @@ SharedProfile execute_profile(const AtaPlan& plan, T alpha, ConstMatrixView<T> a
   runtime::Workspace workspace;  // one reusable arena across all timed tasks
   SharedProfile profile;
   const auto& tasks = plan.schedule().tasks;
+  // Report where the placement hints would home each task on the default
+  // executor's topology (profiling itself runs serially regardless).
+  const int nnodes = std::max(1, runtime::default_executor().numa_nodes());
+  profile.tasks_per_node.assign(static_cast<std::size_t>(nnodes), 0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    ++profile.tasks_per_node[static_cast<std::size_t>(
+        plan.preferred_node(static_cast<int>(i), nnodes))];
+  }
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     Arena<T>& arena =
         workspace.arena<T>(static_cast<std::size_t>(plan.task_workspace()[i]));

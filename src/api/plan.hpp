@@ -95,6 +95,16 @@ class AtaPlan {
   /// (stealing may route any task to any slot). For dist plans: the
   /// per-rank bound (entry-region accumulator plus leaf scratch).
   std::size_t workspace_bound() const { return workspace_bound_; }
+  /// Home NUMA node for shared-mode task `task` on an executor reporting
+  /// `nnodes` nodes: plain round-robin over the write-disjoint C stripes.
+  /// Computed against the executor at execute time rather than stored,
+  /// because plans are cached by *shape* — one plan may serve executors
+  /// with different topologies (real pool, fake-topology pool, fork-join)
+  /// within a process. Deterministic, so per-node scheduled counts are a
+  /// test oracle (tests/test_numa.cpp).
+  int preferred_node(int task, int nnodes) const {
+    return nnodes > 1 ? task % nnodes : 0;
+  }
 
   // --- Dist mode ---------------------------------------------------------
   const sched::DistTree& tree() const { return tree_; }

@@ -32,9 +32,17 @@ std::future<void> Server::submit(T alpha, ConstMatrixView<T> a, MatrixView<T> c,
   // The batch owns the plan (an eviction must not pull the schedule out
   // from under in-flight tasks) and captures the views by value; the
   // caller's buffers must outlive the future per the submit() contract.
-  return pool_.submit(ntasks, [plan, alpha, a, c](int t, runtime::TaskContext& ctx) {
+  auto body = [plan, alpha, a, c](int t, runtime::TaskContext& ctx) {
     run_plan_task(*plan, t, alpha, a, c, ctx);
-  });
+  };
+  const int nnodes = pool_.numa_nodes();
+  if (nnodes > 1) {
+    // Home each write-disjoint C stripe on a node round-robin so its pages
+    // and packed panels stay node-local (AtaPlan::preferred_node).
+    return pool_.submit(ntasks, std::move(body),
+                        [plan, nnodes](int t) { return plan->preferred_node(t, nnodes); });
+  }
+  return pool_.submit(ntasks, std::move(body));
 }
 
 template <typename T>

@@ -66,6 +66,11 @@ class Server {
   std::future<void> submit(T alpha, ConstMatrixView<T> a, MatrixView<T> c);
 
   PlanCacheStats plan_stats() const { return cache_.stats(); }
+  /// Topology + steal-locality snapshot of the serving pool: per-node
+  /// scheduled/executed task counts and local/remote steal totals
+  /// (metrics/numa_stats.hpp). Pairs with plan_stats() as the
+  /// introspection surface a deployment scrapes.
+  metrics::NumaPoolStats runtime_stats() const { return pool_.numa_stats(); }
   PlanCache& plans() { return cache_; }
   runtime::ThreadPool& executor() { return pool_; }
 

@@ -1,0 +1,48 @@
+#include "metrics/numa_stats.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace atalib::metrics {
+
+std::uint64_t NumaPoolStats::total_scheduled() const {
+  return std::accumulate(scheduled_per_node.begin(), scheduled_per_node.end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t NumaPoolStats::total_executed() const {
+  return std::accumulate(executed_per_node.begin(), executed_per_node.end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t NumaPoolStats::scheduled_imbalance() const {
+  if (scheduled_per_node.empty()) return 0;
+  const auto [lo, hi] =
+      std::minmax_element(scheduled_per_node.begin(), scheduled_per_node.end());
+  return *hi - *lo;
+}
+
+double NumaPoolStats::steal_locality() const {
+  const std::uint64_t total = local_steals + remote_steals;
+  if (total == 0) return 1.0;
+  return static_cast<double>(local_steals) / static_cast<double>(total);
+}
+
+std::string NumaPoolStats::to_string() const {
+  std::ostringstream os;
+  os << "nodes=" << nodes << (fake_topology ? " (fake)" : "") << " scheduled=[";
+  for (std::size_t i = 0; i < scheduled_per_node.size(); ++i) {
+    if (i > 0) os << ",";
+    os << scheduled_per_node[i];
+  }
+  os << "] executed=[";
+  for (std::size_t i = 0; i < executed_per_node.size(); ++i) {
+    if (i > 0) os << ",";
+    os << executed_per_node[i];
+  }
+  os << "] steals local=" << local_steals << " remote=" << remote_steals;
+  return os.str();
+}
+
+}  // namespace atalib::metrics

@@ -52,6 +52,12 @@ class Executor {
   /// Number of execution slots (upper bound on concurrency).
   virtual int concurrency() const = 0;
 
+  /// NUMA nodes the executor's slots span. Flat executors report 1; the
+  /// ThreadPool reports its probed (or ATALIB_FAKE_NUMA-synthesized)
+  /// topology so planners can spread write-disjoint output stripes across
+  /// nodes (see run_placed).
+  virtual int numa_nodes() const { return 1; }
+
   /// Human-readable engine name for bench tables.
   virtual const char* name() const = 0;
 
@@ -62,6 +68,22 @@ class Executor {
   /// (idle persistent workers may still steal — tasks are write-disjoint,
   /// so extra concurrency is always safe).
   virtual void run(int ntasks, const TaskFn& fn, int width = 0) = 0;
+
+  /// Maps a task id to its preferred NUMA node (a hint, not a guarantee:
+  /// stealing may still execute the task anywhere). Values are folded
+  /// modulo numa_nodes(), so `t % nodes` and raw ids are both valid;
+  /// negative means no preference.
+  using NodeHintFn = std::function<int(int task)>;
+
+  /// run() with per-task placement hints: a NUMA-aware executor enqueues
+  /// each task on a worker of its preferred node (execution order and
+  /// results are unaffected — tasks are write-disjoint). The default
+  /// ignores the hints, so flat executors need no changes.
+  virtual void run_placed(int ntasks, const TaskFn& fn, int width,
+                          const NodeHintFn& preferred_node) {
+    (void)preferred_node;
+    run(ntasks, fn, width);
+  }
 
   /// Pre-grow every slot's workspace to the given element counts, so a
   /// following run() whose tasks request at most that much performs no

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace atalib::runtime {
 namespace {
 
@@ -24,15 +29,44 @@ Workspace& inline_workspace() {
 
 }  // namespace
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads) : topo_(probe_numa_topology()) {
   int n = threads > 0 ? threads : static_cast<int>(std::thread::hardware_concurrency());
   n = std::max(1, n);
+  // Block slots over nodes proportionally to each node's CPU share, so a
+  // pool smaller or larger than the machine still spreads across every
+  // node: node i owns slots [n * cpus_before_i / total, n * cpus_thru_i /
+  // total). Degenerate nodes (zero slots) simply never home a task.
+  const int nnodes = topo_.num_nodes();
+  const int total_cpus = std::max(1, topo_.total_cpus());
+  node_of_slot_.resize(static_cast<std::size_t>(n));
+  node_slots_.assign(static_cast<std::size_t>(nnodes), {});
+  int cpus_seen = 0;
+  int slot = 0;
+  for (int node = 0; node < nnodes; ++node) {
+    cpus_seen += static_cast<int>(topo_.nodes[static_cast<std::size_t>(node)].cpus.size());
+    const int hi = (node == nnodes - 1)
+                       ? n
+                       : static_cast<int>(static_cast<long long>(n) * cpus_seen / total_cpus);
+    for (; slot < hi; ++slot) {
+      node_of_slot_[static_cast<std::size_t>(slot)] = node;
+      node_slots_[static_cast<std::size_t>(node)].push_back(slot);
+    }
+  }
+  scheduled_per_node_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(static_cast<std::size_t>(nnodes));
+  executed_per_node_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(static_cast<std::size_t>(nnodes));
+  for (int i = 0; i < nnodes; ++i) {
+    scheduled_per_node_[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+    executed_per_node_[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+  }
   queues_.reserve(static_cast<std::size_t>(n));
   workspaces_.reserve(static_cast<std::size_t>(n));
   for (int s = 0; s < n; ++s) {
     queues_.push_back(std::make_unique<Queue>());
     workspaces_.push_back(std::make_unique<Workspace>());
   }
+  slot_warm_seen_.assign(static_cast<std::size_t>(n), 0);
   threads_.reserve(static_cast<std::size_t>(n - 1));
   for (int s = 0; s < n - 1; ++s) {
     threads_.emplace_back([this, s] { worker_main(s); });
@@ -55,13 +89,51 @@ ThreadPool& ThreadPool::global() {
 
 bool ThreadPool::current_thread_in_task() { return tl_task_depth > 0 || tl_inline_depth > 0; }
 
+void ThreadPool::pin_to_node(int slot) {
+#if defined(__linux__)
+  // Fake topologies name CPUs that need not exist; placement logic still
+  // runs, affinity syscalls do not. Single-node pinning would be a no-op.
+  if (topo_.fake || topo_.num_nodes() <= 1) return;
+  const auto& cpus =
+      topo_.nodes[static_cast<std::size_t>(node_of_slot(slot))].cpus;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) {
+      CPU_SET(c, &set);
+      any = true;
+    }
+  }
+  // Best effort: a failed pin costs locality, not correctness.
+  if (any) (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)slot;
+#endif
+}
+
 void ThreadPool::worker_main(int slot) {
+  pin_to_node(slot);
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lk(mu_);
   while (true) {
     work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
     if (stop_) return;
     seen = generation_;
+    if (slot_warm_seen_[static_cast<std::size_t>(slot)] != warm_epoch_) {
+      // A growing warm is in flight: grow *this* slot on *this* thread so
+      // the slab pages are first-touched on the worker's node, then report
+      // in. Admissions are queued behind the warm, so no task can race the
+      // growth.
+      slot_warm_seen_[static_cast<std::size_t>(slot)] = warm_epoch_;
+      const std::size_t f = warm_float_target_;
+      const std::size_t d = warm_double_target_;
+      lk.unlock();
+      workspaces_[static_cast<std::size_t>(slot)]->warm_first_touch(f, d);
+      lk.lock();
+      if (--warm_pending_ == 0) quiesce_cv_.notify_all();
+      continue;
+    }
     lk.unlock();
     drain(slot);
     lk.lock();
@@ -99,24 +171,57 @@ bool ThreadPool::try_pop(int slot, Item& item) {
   return true;
 }
 
+bool ThreadPool::try_steal_from(int thief, int victim, Item& item) {
+  Queue& q = *queues_[static_cast<std::size_t>(victim)];
+  std::lock_guard<std::mutex> lk(q.mu);
+  if (q.tasks.empty()) return false;
+  // Steal from the cold end: the victim pops its own front, so the two
+  // ends never contend on the same task under load.
+  item = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  if (node_of_slot(victim) == node_of_slot(thief)) {
+    local_steals_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    remote_steals_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
 bool ThreadPool::try_steal(int thief, Item& item) {
+  // Locality-first steal order (DESIGN.md §7): drain same-node victims
+  // before touching any remote node's queue — a stolen task's packed
+  // panels and C stripe were placed for its home node, so a same-node
+  // thief executes against local memory while a remote thief pays
+  // cross-socket traffic for every leaf access.
+  const auto& local = node_slots_[static_cast<std::size_t>(node_of_slot(thief))];
+  const int nlocal = static_cast<int>(local.size());
+  // Rotate by the thief's position within its node so same-node thieves
+  // fan out over different victims instead of convoying on one queue.
+  int my_pos = 0;
+  for (int i = 0; i < nlocal; ++i) {
+    if (local[static_cast<std::size_t>(i)] == thief) {
+      my_pos = i;
+      break;
+    }
+  }
+  for (int d = 1; d < nlocal; ++d) {
+    const int victim = local[static_cast<std::size_t>((my_pos + d) % nlocal)];
+    if (try_steal_from(thief, victim, item)) return true;
+  }
+  // Only then cross nodes, nearest-slot rotation over the remainder.
   const int n = concurrency();
   for (int d = 1; d < n; ++d) {
-    Queue& q = *queues_[static_cast<std::size_t>((thief + d) % n)];
-    std::lock_guard<std::mutex> lk(q.mu);
-    if (q.tasks.empty()) continue;
-    // Steal from the cold end: the victim pops its own front, so the two
-    // ends never contend on the same task under load.
-    item = std::move(q.tasks.back());
-    q.tasks.pop_back();
-    steals_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    const int victim = (thief + d) % n;
+    if (node_of_slot(victim) == node_of_slot(thief)) continue;
+    if (try_steal_from(thief, victim, item)) return true;
   }
   return false;
 }
 
 void ThreadPool::execute(int slot, Item item) {
   Batch& batch = *item.batch;
+  executed_per_node_[static_cast<std::size_t>(node_of_slot(slot))].fetch_add(
+      1, std::memory_order_relaxed);
   TaskContext ctx;
   ctx.worker = slot;
   ctx.workspace = workspaces_[static_cast<std::size_t>(slot)].get();
@@ -147,7 +252,8 @@ void ThreadPool::execute(int slot, Item item) {
   }
 }
 
-std::shared_ptr<ThreadPool::Batch> ThreadPool::enqueue(int ntasks, TaskFn fn, int dist_slots) {
+std::shared_ptr<ThreadPool::Batch> ThreadPool::enqueue(int ntasks, TaskFn fn, int dist_slots,
+                                                       const NodeHintFn* hint) {
   auto batch = std::make_shared<Batch>(ntasks, std::move(fn));
   {
     // Register before any queue push: a pending warm must either see this
@@ -157,16 +263,58 @@ std::shared_ptr<ThreadPool::Batch> ThreadPool::enqueue(int ntasks, TaskFn fn, in
     quiesce_cv_.wait(lk, [&] { return warm_waiters_ == 0; });
     ++active_batches_;
   }
-  // Block distribution: slot s owns a contiguous chunk of task ids, so the
-  // schedule's home-worker hints translate into locality; stealing
-  // rebalances from there.
-  for (int s = 0; s < dist_slots; ++s) {
-    const int lo = static_cast<int>(static_cast<long long>(ntasks) * s / dist_slots);
-    const int hi = static_cast<int>(static_cast<long long>(ntasks) * (s + 1) / dist_slots);
-    if (hi == lo) continue;
-    Queue& q = *queues_[static_cast<std::size_t>(s)];
-    std::lock_guard<std::mutex> qlk(q.mu);
-    for (int t = lo; t < hi; ++t) q.tasks.push_back(Item{batch, t});
+  const int nnodes = topo_.num_nodes();
+  if (hint == nullptr || nnodes == 0) {
+    // Block distribution: slot s owns a contiguous chunk of task ids, so
+    // the schedule's home-worker hints translate into locality; stealing
+    // rebalances from there.
+    for (int s = 0; s < dist_slots; ++s) {
+      const int lo = static_cast<int>(static_cast<long long>(ntasks) * s / dist_slots);
+      const int hi = static_cast<int>(static_cast<long long>(ntasks) * (s + 1) / dist_slots);
+      if (hi == lo) continue;
+      Queue& q = *queues_[static_cast<std::size_t>(s)];
+      std::lock_guard<std::mutex> qlk(q.mu);
+      for (int t = lo; t < hi; ++t) q.tasks.push_back(Item{batch, t});
+      scheduled_per_node_[static_cast<std::size_t>(node_of_slot(s))].fetch_add(
+          static_cast<std::uint64_t>(hi - lo), std::memory_order_relaxed);
+    }
+  } else {
+    // Hinted distribution: bucket task t onto the slots of its preferred
+    // node, round-robin within the node so same-node slots share the
+    // node's work evenly. Nodes whose slots are all beyond dist_slots
+    // (e.g. a single-slot last node excluded by a submit()) and negative
+    // hints fall back to a flat rotation.
+    std::vector<std::vector<int>> bucket(static_cast<std::size_t>(dist_slots));
+    std::vector<int> cursor(static_cast<std::size_t>(nnodes), 0);
+    int flat_cursor = 0;
+    for (int t = 0; t < ntasks; ++t) {
+      const int h = (*hint)(t);
+      int slot = -1;
+      if (h >= 0) {
+        const int node = h % nnodes;
+        const auto& slots = node_slots_[static_cast<std::size_t>(node)];
+        int eligible = 0;
+        for (int s : slots) {
+          if (s < dist_slots) ++eligible;
+        }
+        if (eligible > 0) {
+          int& cur = cursor[static_cast<std::size_t>(node)];
+          slot = slots[static_cast<std::size_t>(cur % eligible)];
+          ++cur;
+        }
+      }
+      if (slot < 0) slot = (flat_cursor++) % dist_slots;
+      bucket[static_cast<std::size_t>(slot)].push_back(t);
+    }
+    for (int s = 0; s < dist_slots; ++s) {
+      const auto& tasks = bucket[static_cast<std::size_t>(s)];
+      if (tasks.empty()) continue;
+      Queue& q = *queues_[static_cast<std::size_t>(s)];
+      std::lock_guard<std::mutex> qlk(q.mu);
+      for (int t : tasks) q.tasks.push_back(Item{batch, t});
+      scheduled_per_node_[static_cast<std::size_t>(node_of_slot(s))].fetch_add(
+          tasks.size(), std::memory_order_relaxed);
+    }
   }
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -197,14 +345,15 @@ void ThreadPool::run_inline(int ntasks, const TaskFn& fn) {
   --tl_inline_depth;
 }
 
-void ThreadPool::run(int ntasks, const TaskFn& fn, int width) {
+void ThreadPool::run_with_hint(int ntasks, const TaskFn& fn, int width,
+                               const NodeHintFn* hint) {
   if (ntasks <= 0) return;
   const int nslots = concurrency();
   if (tl_task_depth > 0 || nslots == 1 || ntasks == 1 || width == 1) {
     run_inline(ntasks, fn);
     return;
   }
-  auto batch = enqueue(ntasks, fn, nslots);
+  auto batch = enqueue(ntasks, fn, nslots, hint);
   std::future<void> done = batch->done.get_future();
   // Participate as the caller slot if no other concurrent caller claimed
   // it; otherwise just wait (two callers must not share slot workspaces).
@@ -216,7 +365,17 @@ void ThreadPool::run(int ntasks, const TaskFn& fn, int width) {
   done.get();  // waits for stolen stragglers; rethrows the first task error
 }
 
-std::future<void> ThreadPool::submit(int ntasks, TaskFn fn) {
+void ThreadPool::run(int ntasks, const TaskFn& fn, int width) {
+  run_with_hint(ntasks, fn, width, nullptr);
+}
+
+void ThreadPool::run_placed(int ntasks, const TaskFn& fn, int width,
+                            const NodeHintFn& preferred_node) {
+  run_with_hint(ntasks, fn, width, preferred_node ? &preferred_node : nullptr);
+}
+
+std::future<void> ThreadPool::submit_with_hint(int ntasks, TaskFn fn,
+                                               const NodeHintFn* hint) {
   std::promise<void> ready;
   if (ntasks <= 0) {
     ready.set_value();
@@ -236,8 +395,18 @@ std::future<void> ThreadPool::submit(int ntasks, TaskFn fn) {
   }
   // Distribute over the worker slots only — nobody drains the caller slot
   // on this path until a worker steals from it.
-  auto batch = enqueue(ntasks, std::move(fn), nslots - 1);
+  auto batch = enqueue(ntasks, std::move(fn), nslots - 1, hint);
   return batch->done.get_future();
+}
+
+std::future<void> ThreadPool::submit(int ntasks, TaskFn fn) {
+  return submit_with_hint(ntasks, std::move(fn), nullptr);
+}
+
+std::future<void> ThreadPool::submit(int ntasks, TaskFn fn,
+                                     const NodeHintFn& preferred_node) {
+  return submit_with_hint(ntasks, std::move(fn),
+                          preferred_node ? &preferred_node : nullptr);
 }
 
 void ThreadPool::warm_workspaces(std::size_t float_elems, std::size_t double_elems) {
@@ -247,21 +416,39 @@ void ThreadPool::warm_workspaces(std::size_t float_elems, std::size_t double_ele
   if (float_elems > warmed_float_.load(std::memory_order_acquire) ||
       double_elems > warmed_double_.load(std::memory_order_acquire)) {
     // Growth path: wait for the pool to quiesce (new admissions queue
-    // behind warm_waiters_, so this cannot be starved), then grow every
-    // slot. Workers only touch their workspace while executing a task, so
-    // zero active batches means nobody races the growth.
+    // behind warm_waiters_, so this cannot be starved), then have every
+    // worker grow its *own* slot — the first write decides NUMA placement,
+    // so growth must happen on the owning worker's thread, not here. The
+    // caller slot has no worker; this thread grows it (run() callers drain
+    // that slot themselves, so its pages belong on the client's node).
     std::unique_lock<std::mutex> lk(mu_);
     ++warm_waiters_;
-    quiesce_cv_.wait(lk, [&] { return active_batches_ == 0; });
-    for (auto& ws : workspaces_) ws->warm(float_elems, double_elems);
-    if (float_elems > warmed_float_.load(std::memory_order_relaxed)) {
-      warmed_float_.store(float_elems, std::memory_order_release);
+    quiesce_cv_.wait(lk, [&] { return active_batches_ == 0 && !warm_growing_; });
+    const std::size_t tf = std::max(float_elems, warmed_float_.load(std::memory_order_relaxed));
+    const std::size_t td =
+        std::max(double_elems, warmed_double_.load(std::memory_order_relaxed));
+    warm_growing_ = true;
+    warm_float_target_ = tf;
+    warm_double_target_ = td;
+    warm_pending_ = static_cast<int>(threads_.size());
+    ++warm_epoch_;
+    const int caller_slot = concurrency() - 1;
+    slot_warm_seen_[static_cast<std::size_t>(caller_slot)] = warm_epoch_;
+    ++generation_;  // wake parked workers for the new epoch
+    lk.unlock();
+    work_cv_.notify_all();
+    workspaces_[static_cast<std::size_t>(caller_slot)]->warm_first_touch(tf, td);
+    lk.lock();
+    quiesce_cv_.wait(lk, [&] { return warm_pending_ == 0; });
+    if (tf > warmed_float_.load(std::memory_order_relaxed)) {
+      warmed_float_.store(tf, std::memory_order_release);
     }
-    if (double_elems > warmed_double_.load(std::memory_order_relaxed)) {
-      warmed_double_.store(double_elems, std::memory_order_release);
+    if (td > warmed_double_.load(std::memory_order_relaxed)) {
+      warmed_double_.store(td, std::memory_order_release);
     }
+    warm_growing_ = false;
     --warm_waiters_;
-    if (warm_waiters_ == 0) quiesce_cv_.notify_all();  // release queued admissions
+    quiesce_cv_.notify_all();  // release queued admissions and queued warms
   }
   // Only a workerless pool routes batches through the calling thread's
   // inline workspace; warming it on a multi-slot pool would hand every
@@ -269,6 +456,21 @@ void ThreadPool::warm_workspaces(std::size_t float_elems, std::size_t double_ele
   // the worker slots). Width-1 and nested inline paths on multi-slot
   // pools warm their thread-local slab monotonically on first use.
   if (concurrency() == 1) inline_workspace().warm(float_elems, double_elems);
+}
+
+metrics::NumaPoolStats ThreadPool::numa_stats() const {
+  metrics::NumaPoolStats stats;
+  stats.nodes = topo_.num_nodes();
+  stats.fake_topology = topo_.fake;
+  stats.scheduled_per_node.reserve(static_cast<std::size_t>(stats.nodes));
+  stats.executed_per_node.reserve(static_cast<std::size_t>(stats.nodes));
+  for (int node = 0; node < stats.nodes; ++node) {
+    stats.scheduled_per_node.push_back(scheduled_on_node(node));
+    stats.executed_per_node.push_back(executed_on_node(node));
+  }
+  stats.local_steals = local_steals();
+  stats.remote_steals = remote_steals();
+  return stats;
 }
 
 }  // namespace atalib::runtime

@@ -26,11 +26,28 @@
 // slab), so interleaving tasks of different batches on one slot is safe —
 // no task may hold arena memory across task boundaries.
 //
+// The pool is NUMA-topology-aware (DESIGN.md §7). Slots are grouped by the
+// node a slot's worker is pinned to (probe_numa_topology(); the
+// ATALIB_FAKE_NUMA override synthesizes multi-node layouts on flat CI
+// hosts, skipping only the affinity syscalls). Three mechanisms follow
+// from the grouping:
+//   - placement: enqueue can honor a per-task preferred-node hint
+//     (run_placed / submit with a NodeHintFn), distributing each task
+//     round-robin over its node's slots; per-node *scheduled* counters
+//     record assignment deterministically.
+//   - memory: a growing warm_workspaces() is executed by each worker on
+//     its own slot (first touch), so a slot's arena pages live on the
+//     worker's node — never on the admitting client's.
+//   - stealing: locality-first order — own queue, then same-node victims,
+//     then remote nodes, with separate local_steals()/remote_steals()
+//     counters so benches can report the cross-node traffic they avoided.
+//
 // warm_workspaces() keeps its "no batch in flight" requirement internal:
 // requests at or below the pool's warmed high-water mark return after two
 // atomic loads (the serving hot path), larger requests wait for the pool
-// to quiesce, grow every slot, and raise the mark. New batch admissions
-// queue behind a waiting warm so it cannot be starved.
+// to quiesce, have every worker grow its own slot (first touch, see
+// above), and raise the mark. New batch admissions queue behind a waiting
+// warm so it cannot be starved.
 //
 // Queues are tiny-critical-section mutex deques, not lock-free Chase-Lev:
 // tasks here are matrix multiplications (micro- to milliseconds), so queue
@@ -46,7 +63,9 @@
 // at that width *given exclusive use of the pool*, which the distributed
 // layer's rank pool guarantees by holding the RankPoolLease mutex for the
 // whole communicator batch (src/dist/rank_pool.hpp). Do not change the
-// distribution scheme without this invariant.
+// distribution scheme without this invariant. (Hinted admission via
+// run_placed/submit-with-hints distributes differently, but the rank pool
+// never passes hints, so the invariant binds only the unhinted path.)
 
 #include <atomic>
 #include <condition_variable>
@@ -59,6 +78,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cacheinfo.hpp"
+#include "metrics/numa_stats.hpp"
 #include "runtime/executor.hpp"
 
 namespace atalib::runtime {
@@ -77,13 +98,32 @@ class ThreadPool final : public Executor {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int concurrency() const override { return static_cast<int>(queues_.size()); }
+  int numa_nodes() const override { return topo_.num_nodes(); }
   const char* name() const override { return "pool"; }
+
+  /// The topology the pool grouped its slots by (probed, or synthesized
+  /// from ATALIB_FAKE_NUMA, at construction).
+  const NumaTopology& topology() const { return topo_; }
+  /// Node owning `slot` (slots are blocked over nodes proportionally to
+  /// each node's CPU share; the caller slot is the last slot of the last
+  /// node).
+  int node_of_slot(int slot) const {
+    return node_of_slot_[static_cast<std::size_t>(slot)];
+  }
 
   /// Runs the batch; rethrows the first task exception after the batch
   /// drains (the pool stays usable). Re-entrant submissions from inside a
   /// task execute inline on the submitting thread. Batches from
   /// independent client threads overlap.
   void run(int ntasks, const TaskFn& fn, int width = 0) override;
+
+  /// run() with per-task preferred-node hints: task t is enqueued
+  /// round-robin over the slots of node `preferred_node(t) % numa_nodes()`
+  /// (negative hint: no preference). Stealing may still execute a task
+  /// anywhere — locality-first order makes that the exception, and the
+  /// write-disjoint task contract makes it always correct.
+  void run_placed(int ntasks, const TaskFn& fn, int width,
+                  const NodeHintFn& preferred_node) override;
 
   /// Queued multi-batch admission: enqueue the batch and return a future
   /// that becomes ready when its last task finishes (exceptional with the
@@ -94,6 +134,11 @@ class ThreadPool final : public Executor {
   /// before returning, so the future is already ready — blocking on the
   /// future from task context can never deadlock.
   std::future<void> submit(int ntasks, TaskFn fn);
+
+  /// submit() with per-task preferred-node hints (see run_placed). Used by
+  /// the serving front-end to pin a plan's write-disjoint C stripes to
+  /// nodes round-robin.
+  std::future<void> submit(int ntasks, TaskFn fn, const NodeHintFn& preferred_node);
 
   void warm_workspaces(std::size_t float_elems, std::size_t double_elems) override;
 
@@ -109,8 +154,31 @@ class ThreadPool final : public Executor {
   /// nested submission instead of deadlocking.
   static bool current_thread_in_task();
 
-  /// Tasks executed by a slot other than their home slot (lifetime total).
-  std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  /// Tasks executed by a slot other than their home slot (lifetime total,
+  /// local + remote).
+  std::uint64_t steals() const { return local_steals() + remote_steals(); }
+  /// Steals whose victim slot is on the thief's own node.
+  std::uint64_t local_steals() const {
+    return local_steals_.load(std::memory_order_relaxed);
+  }
+  /// Steals that crossed a node boundary (the traffic locality-first
+  /// ordering exists to minimize).
+  std::uint64_t remote_steals() const {
+    return remote_steals_.load(std::memory_order_relaxed);
+  }
+  /// Tasks enqueued on slots of `node` (assignment-time, lifetime total).
+  std::uint64_t scheduled_on_node(int node) const {
+    return scheduled_per_node_[static_cast<std::size_t>(node)].load(
+        std::memory_order_relaxed);
+  }
+  /// Tasks executed by slots of `node` (execution-time, lifetime total).
+  std::uint64_t executed_on_node(int node) const {
+    return executed_per_node_[static_cast<std::size_t>(node)].load(
+        std::memory_order_relaxed);
+  }
+  /// Snapshot of the topology + locality counters for the metrics surface
+  /// (api::Server::runtime_stats, bench/runtime_pool).
+  metrics::NumaPoolStats numa_stats() const;
   /// Batches admitted to the queues (lifetime total; inline executions of
   /// nested/width-1 work are not batches).
   std::uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
@@ -142,28 +210,50 @@ class ThreadPool final : public Executor {
   };
 
   /// Admit a batch: register it (queuing behind any waiting warm),
-  /// block-distribute its tasks over the first `dist_slots` queues, wake
-  /// the workers. Returns the batch for completion waiting.
-  std::shared_ptr<Batch> enqueue(int ntasks, TaskFn fn, int dist_slots);
+  /// distribute its tasks over the first `dist_slots` queues — blockwise
+  /// without a hint, round-robin within each task's preferred node with one
+  /// — and wake the workers. Returns the batch for completion waiting.
+  std::shared_ptr<Batch> enqueue(int ntasks, TaskFn fn, int dist_slots,
+                                 const NodeHintFn* hint);
+  void run_with_hint(int ntasks, const TaskFn& fn, int width, const NodeHintFn* hint);
+  std::future<void> submit_with_hint(int ntasks, TaskFn fn, const NodeHintFn* hint);
   void run_inline(int ntasks, const TaskFn& fn);
   void worker_main(int slot);
+  void pin_to_node(int slot);
   void drain(int slot);
   void drain_for(int slot, const Batch& batch);
   bool try_pop(int slot, Item& item);
   bool try_steal(int thief, Item& item);
+  bool try_steal_from(int thief, int victim, Item& item);
   void execute(int slot, Item item);
+
+  NumaTopology topo_;                  // probed (or faked) at construction
+  std::vector<int> node_of_slot_;      // slot -> node index
+  std::vector<std::vector<int>> node_slots_;  // node index -> its slots, ascending
 
   std::vector<std::unique_ptr<Queue>> queues_;          // one per slot
   std::vector<std::unique_ptr<Workspace>> workspaces_;  // parallel to queues_
   std::vector<std::thread> threads_;                    // the W workers
 
-  std::mutex mu_;  // guards generation_/stop_/active_batches_/warm_waiters_
+  std::mutex mu_;  // guards generation_/stop_/active_batches_/warm_* state
   std::condition_variable work_cv_;     // workers park here between batches
   std::condition_variable quiesce_cv_;  // warms wait for 0 batches; admissions wait for 0 warms
   std::uint64_t generation_ = 0;
   bool stop_ = false;
   int active_batches_ = 0;  // admitted, not yet completed
   int warm_waiters_ = 0;    // warms waiting for (or holding) quiescence
+
+  /// Worker-side warm growth (first touch): a growing warm publishes the
+  /// targets and a fresh epoch under mu_, wakes every worker, and waits for
+  /// warm_pending_ to hit zero; each worker grows its *own* slot exactly
+  /// once per epoch (slot_warm_seen_). warm_growing_ serializes concurrent
+  /// growing warms.
+  bool warm_growing_ = false;
+  std::uint64_t warm_epoch_ = 0;
+  int warm_pending_ = 0;
+  std::size_t warm_float_target_ = 0;
+  std::size_t warm_double_target_ = 0;
+  std::vector<std::uint64_t> slot_warm_seen_;  // last epoch each slot grew for
 
   /// High-water marks warm_workspaces() has grown every slot to; requests
   /// at or below them skip the quiescence path entirely.
@@ -175,8 +265,14 @@ class ThreadPool final : public Executor {
   /// must never share the caller slot's workspace).
   std::atomic<bool> caller_slot_busy_{false};
 
-  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> local_steals_{0};
+  std::atomic<std::uint64_t> remote_steals_{0};
   std::atomic<std::uint64_t> batches_{0};
+  /// Per-node task counters (see scheduled_on_node/executed_on_node);
+  /// heap-array because std::atomic is immovable and the node count is a
+  /// construction-time constant.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> scheduled_per_node_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> executed_per_node_;
 };
 
 }  // namespace atalib::runtime

@@ -37,6 +37,18 @@ class Workspace {
     arena<double>(double_elems);
   }
 
+  /// warm() plus a page-stride write over both slabs from the calling
+  /// thread. aligned_alloc'd slabs are backed by untouched pages; on NUMA
+  /// hosts the first *write* decides which node the page lands on, so the
+  /// pool has each worker first-touch its own workspace (DESIGN.md §7) —
+  /// warming from the admitting thread would silently place every slot's
+  /// arena on that thread's node.
+  void warm_first_touch(std::size_t float_elems, std::size_t double_elems) {
+    warm(float_elems, double_elems);
+    touch_slab(float_);
+    touch_slab(double_);
+  }
+
   /// Slab (re)allocations performed so far. Benches assert this stops
   /// moving once the pool is warm.
   std::size_t grow_count() const noexcept { return grows_; }
@@ -47,6 +59,17 @@ class Workspace {
   }
 
  private:
+  template <typename T>
+  static void touch_slab(Arena<T>& a) {
+    const std::size_t cap = a.capacity();
+    if (cap == 0) return;
+    constexpr std::size_t kStride = 4096 / sizeof(T);  // one write per page
+    T* p = a.allocate(cap);
+    for (std::size_t i = 0; i < cap; i += kStride) p[i] = T(0);
+    p[cap - 1] = T(0);
+    a.reset();
+  }
+
   template <typename T>
   Arena<T>& slot() {
     static_assert(std::is_same_v<T, float> || std::is_same_v<T, double>,

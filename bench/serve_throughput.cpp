@@ -10,17 +10,33 @@
 //   scale  — C client threads, closed loop each, C in {1, 2, 4, ...}
 // Each phase reports requests/sec and per-request latency; --json appends
 // BENCH_serve.json records for the perf trajectory.
+//
+// Two further phases exercise PR 8's batched small-Gram serving
+// (DESIGN.md §8):
+//   batched     — submit_batch over a sweep of small shapes (m = 8n),
+//                 f32 and f64, batch sizes 1/16/256; the warm batched
+//                 stream must show ZERO schedule builds, ZERO workspace
+//                 slab allocations, ZERO thread-local pack allocations and
+//                 ZERO plan-cache misses (hard-checked; nonzero exit).
+//   tall_skinny — one m >> n shape served by the forced panel-SYRK plan
+//                 vs the forced recursive plan, plus what the auto planner
+//                 picked for it.
 
 #include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "api/batch.hpp"
 #include "api/server.hpp"
 #include "ata/ata.hpp"
 #include "bench_common.hpp"
+#include "blas/kernels/pack.hpp"
 #include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
 #include "matrix/matrix.hpp"
+#include "sched/dist_tree.hpp"
+#include "sched/shared_schedule.hpp"
 
 namespace {
 
@@ -30,6 +46,42 @@ struct Shape {
   index_t m, n;
 };
 
+std::uint64_t total_schedule_builds() {
+  return sched::shared_schedule_builds() + sched::dist_tree_builds();
+}
+
+std::size_t pool_slab_grows(runtime::ThreadPool& pool) {
+  std::size_t total = 0;
+  for (int s = 0; s < pool.concurrency(); ++s) total += pool.workspace(s).grow_count();
+  return total;
+}
+
+/// One batched-serving configuration: stream `nreq` requests of one shape
+/// through submit_batch in slices of `bsize`. Inputs AND outputs cycle
+/// over the whole stream (not per batch), so every batch size pays the
+/// same output-matrix traffic pattern — a serving stream writes distinct
+/// client outputs whether or not requests were fused. Returns seconds.
+template <typename T>
+double run_batched_stream(api::Server& server, const std::vector<Matrix<T>>& inputs,
+                          std::vector<Matrix<T>>& outputs, int nreq, int bsize) {
+  std::vector<api::AtaRequest<T>> batch;
+  batch.reserve(static_cast<std::size_t>(bsize));
+  Timer t;
+  int done = 0;
+  while (done < nreq) {
+    const int take = std::min(bsize, nreq - done);
+    batch.clear();
+    for (int i = 0; i < take; ++i) {
+      batch.push_back({T(1),
+                       inputs[static_cast<std::size_t>((done + i) % inputs.size())].const_view(),
+                       outputs[static_cast<std::size_t>((done + i) % outputs.size())].view()});
+    }
+    for (auto& f : server.submit_batch<T>(batch)) f.get();
+    done += take;
+  }
+  return t.seconds();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -38,11 +90,13 @@ int main(int argc, char** argv) {
   flags.add_int("threads", 4, "server pool slots");
   flags.add_int("requests", 32, "warm requests per client per shape sweep");
   flags.add_int("max-clients", 4, "concurrent-client scaling sweeps 1,2,..,max");
+  flags.add_int("batch-requests", 4096, "requests per batched small-Gram configuration");
   if (!flags.parse(argc, argv)) return 1;
   const double scale = flags.get_double("scale");
   const int threads = std::max(1, static_cast<int>(flags.get_int("threads")));
   const int requests = std::max(1, static_cast<int>(flags.get_int("requests")));
   const int max_clients = std::max(1, static_cast<int>(flags.get_int("max-clients")));
+  const int batch_requests = std::max(1, static_cast<int>(flags.get_int("batch-requests")));
   bench::JsonWriter json(flags.get_string("json"));
 
   bench::print_banner("Cached-plan serving throughput (api::Server)",
@@ -59,16 +113,22 @@ int main(int argc, char** argv) {
 
   api::Server server(api::Server::Options{threads, 16});
 
-  // Correctness spot check once, against the serial recursion.
+  // Correctness spot check once, against the serial recursion. Integer
+  // inputs: they make every summation order produce identical floats, so
+  // the bitwise comparison checks data placement, not FP association —
+  // the served schedule decomposes the product differently than the
+  // serial recursion, which reassociates sums (harmlessly) on real data.
   {
-    const auto a = random_uniform<double>(shapes[0].m, shapes[0].n, 11);
+    const auto a = random_integer<double>(shapes[0].m, shapes[0].n, 4, 11);
     auto c_ref = Matrix<double>::zeros(shapes[0].n, shapes[0].n);
     ata(1.0, a.const_view(), c_ref.view(), sopts.recurse);
     auto c = Matrix<double>::zeros(shapes[0].n, shapes[0].n);
     api::Server check_server(api::Server::Options{threads, 16});
     check_server.submit(1.0, a.const_view(), c.view(), sopts).get();
-    if (max_abs_diff_lower<double>(c.const_view(), c_ref.const_view()) != 0.0) {
-      std::fprintf(stderr, "error: served result differs from serial execution\n");
+    const double diff = max_abs_diff_lower<double>(c.const_view(), c_ref.const_view());
+    if (diff != 0.0) {
+      std::fprintf(stderr, "error: served result differs from serial execution (%.3e)\n",
+                   diff);
       return 1;
     }
   }
@@ -153,10 +213,164 @@ int main(int argc, char** argv) {
   }
 
   table.print();
+
+  // --- Phase 4: batched small-Gram serving (fresh server: its cache and
+  // counters are accounted separately from the per-request phases).
+  int batched_failures = 0;
+  {
+    api::Server bserver(api::Server::Options{threads, 64});
+    const index_t ns[] = {bench::scaled(32, scale), bench::scaled(64, scale),
+                          bench::scaled(128, scale), bench::scaled(256, scale)};
+    const int batch_sizes[] = {1, 16, 256};
+    constexpr int kInputs = 16;
+    constexpr int kMaxBatch = 256;
+
+    // Two request regimes per n, the two ends of small-Gram traffic:
+    //   update — m = 4 rows (a streaming low-rank Gram/covariance update,
+    //            the BFGS-style accumulation shape): the request is cheap
+    //            enough that per-request round-trip overhead dominates,
+    //            which is exactly what batching amortizes.
+    //   gram   — m = 8n (a full small Gram product): compute-bound, where
+    //            batching's win is pool utilization and the f32 rows show
+    //            the SIMD-width speedup over f64.
+    Table btable("Batched small-Gram serving (submit_batch), pool=" +
+                 std::to_string(threads) + " slots");
+    btable.set_header(
+        {"regime", "dtype", "m", "n", "batch", "requests", "req/s", "mean us/req"});
+
+    auto run_config = [&](auto tag, const char* dtype_name, const char* regime, index_t m,
+                          index_t n) {
+      using T = decltype(tag);
+      {
+        // Requests per configuration, scaled down for the bigger shapes so
+        // the sweep's wall-clock stays balanced (work per request grows
+        // with m * n^2); the JSON records the actual count.
+        const index_t n0 = ns[0];
+        const index_t shrink =
+            std::max<index_t>((m / 4) * (n / n0) * (n / n0) / 64, index_t{1});
+        const int nreq = std::max(
+            kMaxBatch, static_cast<int>(static_cast<index_t>(batch_requests) / shrink));
+        std::vector<Matrix<T>> inputs;
+        for (int i = 0; i < kInputs; ++i) {
+          inputs.push_back(random_uniform<T>(m, n, 100 + i));
+        }
+        std::vector<Matrix<T>> outputs;
+        for (int i = 0; i < kMaxBatch; ++i) {
+          outputs.push_back(Matrix<T>::zeros(n, n));
+        }
+        // Cold pass per shape: plan build + pool warm-up out of the timed
+        // stream (also touches every output page).
+        run_batched_stream<T>(bserver, inputs, outputs, kMaxBatch, kMaxBatch);
+
+        // Warm batched streams: everything below must be setup-free.
+        const std::uint64_t builds0 = total_schedule_builds();
+        const std::size_t grows0 = pool_slab_grows(bserver.executor());
+        const std::uint64_t packs0 = blas::kernels::thread_pack_allocs().load();
+        const std::uint64_t misses0 = bserver.plan_stats().misses;
+        for (const int bsize : batch_sizes) {
+          const double secs = run_batched_stream<T>(bserver, inputs, outputs, nreq, bsize);
+          const double rps = nreq / secs;
+          btable.add_row({regime, dtype_name, std::to_string(m), std::to_string(n),
+                          std::to_string(bsize), std::to_string(nreq), Table::num(rps, 1),
+                          Table::num(secs / nreq * 1e6, 2)});
+          bench::JsonWriter::Record rec;
+          rec.str("phase", "batched")
+              .str("regime", regime)
+              .str("dtype", dtype_name)
+              .num("m", static_cast<std::uint64_t>(m))
+              .num("n", static_cast<std::uint64_t>(n))
+              .num("batch", bsize)
+              .num("requests", nreq)
+              .num("req_per_sec", rps)
+              .num("mean_us", secs / nreq * 1e6)
+              .num("pool_threads", threads);
+          json.add(rec);
+        }
+        const std::uint64_t d_builds = total_schedule_builds() - builds0;
+        const std::uint64_t d_grows = pool_slab_grows(bserver.executor()) - grows0;
+        const std::uint64_t d_packs = blas::kernels::thread_pack_allocs().load() - packs0;
+        const std::uint64_t d_misses = bserver.plan_stats().misses - misses0;
+        bench::JsonWriter::Record rec;
+        rec.str("phase", "batched_warm_counters")
+            .str("regime", regime)
+            .str("dtype", dtype_name)
+            .num("n", static_cast<std::uint64_t>(n))
+            .num("schedule_builds", d_builds)
+            .num("workspace_grows", d_grows)
+            .num("thread_pack_allocs", d_packs)
+            .num("plan_misses", d_misses);
+        json.add(rec);
+        if (d_builds != 0 || d_grows != 0 || d_packs != 0 || d_misses != 0) {
+          std::fprintf(stderr,
+                       "error: warm batched stream (%s %s n=%lld) was not setup-free: "
+                       "builds=%llu grows=%llu pack_allocs=%llu misses=%llu\n",
+                       regime, dtype_name, static_cast<long long>(n),
+                       static_cast<unsigned long long>(d_builds),
+                       static_cast<unsigned long long>(d_grows),
+                       static_cast<unsigned long long>(d_packs),
+                       static_cast<unsigned long long>(d_misses));
+          ++batched_failures;
+        }
+      }
+    };
+    for (const index_t n : ns) {
+      run_config(double{}, "f64", "update", 4, n);
+      run_config(float{}, "f32", "update", 4, n);
+      run_config(double{}, "f64", "gram", 8 * n, n);
+      run_config(float{}, "f32", "gram", 8 * n, n);
+    }
+    btable.print();
+  }
+
+  // --- Phase 5: tall-skinny planner — forced panel-SYRK vs forced
+  // recursive on one m >> n shape, plus the auto planner's own choice.
+  {
+    const Shape ts{bench::scaled(16384, scale), bench::scaled(64, scale)};
+    const auto a = random_uniform<double>(ts.m, ts.n, 7);
+    auto c = Matrix<double>::zeros(ts.n, ts.n);
+    const int reps = std::max(3, requests / 4);
+
+    Table ttable("Tall-skinny planner, m=" + std::to_string(ts.m) + " n=" +
+                 std::to_string(ts.n) + " f64");
+    ttable.set_header({"plan", "engine", "reps", "req/s", "mean ms/req"});
+
+    auto time_plan = [&](const char* label, index_t ratio) {
+      api::Server tserver(api::Server::Options{threads, 16});
+      SharedOptions topts = sopts;
+      topts.tall_skinny_ratio = ratio;
+      const auto key = api::shared_plan_key(api::dtype_of<double>(), ts.m, ts.n, topts);
+      const char* engine = key.engine == LeafEngine::kPanelSyrk ? "panel_syrk" : "strassen";
+      tserver.submit(1.0, a.const_view(), c.view(), topts).get();  // cold
+      Timer t;
+      for (int r = 0; r < reps; ++r) {
+        tserver.submit(1.0, a.const_view(), c.view(), topts).get();
+      }
+      const double secs = t.seconds();
+      ttable.add_row({label, engine, std::to_string(reps), Table::num(reps / secs, 1),
+                      Table::num(secs / reps * 1e3, 3)});
+      bench::JsonWriter::Record rec;
+      rec.str("phase", "tall_skinny")
+          .str("plan", label)
+          .str("engine", engine)
+          .num("m", static_cast<std::uint64_t>(ts.m))
+          .num("n", static_cast<std::uint64_t>(ts.n))
+          .num("reps", reps)
+          .num("req_per_sec", reps / secs)
+          .num("mean_ms", secs / reps * 1e3)
+          .num("pool_threads", threads);
+      json.add(rec);
+    };
+    time_plan("forced_panel", 2);
+    time_plan("forced_recursive", -1);
+    time_plan("auto", 0);
+    ttable.print();
+  }
+
   const auto stats = server.plan_stats();
   std::printf("check: plan-cache misses = %llu (want %d: one per shape; every other "
               "request replans nothing)\n",
               static_cast<unsigned long long>(stats.misses), kShapes);
   if (!json.flush()) return 1;
+  if (batched_failures != 0) return 1;
   return stats.misses == static_cast<std::uint64_t>(kShapes) ? 0 : 1;
 }

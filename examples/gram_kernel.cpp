@@ -2,18 +2,27 @@
 // motivation (§1): K(t) = Phi E(t) Phi^T can be computed as G G^T with
 // G = Phi E(t)^{1/2}, i.e. one A^T A-type product per time step.
 //
-// We build a synthetic 1-D Laplacian eigenbasis (the DST basis, closed
-// form), scale it by exp(-lambda t / 2), and compute the kernel with AtA.
-// Physical sanity checks: K(t) rows sum to ~1 as t grows only for the full
-// basis; here we check symmetry, positive semi-definiteness (diagonal
-// dominance of Cauchy-Schwarz) and decay with t.
+// A multi-scale analysis needs the kernel at a whole ladder of diffusion
+// times at once, which is precisely the batched small-Gram serving shape:
+// we build the scaled basis for every t in f32 (plenty for a diffusion
+// kernel whose entries live in [0, 1]) and fuse all time steps into ONE
+// api::Server::submit_batch call — one pool batch, one plan (all steps
+// share the shape), per-step futures.
 //
-//   ./gram_kernel [--nodes 256] [--modes 64] [--t 0.1]
+// We build a synthetic 1-D Laplacian eigenbasis (the DST basis, closed
+// form) and scale it by exp(-lambda t / 2). Physical sanity checks per
+// step: symmetry is implicit (lower triangle), positive semi-definiteness
+// (diagonal nonnegativity + Cauchy-Schwarz), and the trace must decay
+// monotonically along the time ladder (heat dissipates).
+//
+//   ./gram_kernel [--nodes 256] [--modes 64] [--t 0.1] [--steps 4]
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
-#include "ata/ata.hpp"
+#include "api/batch.hpp"
+#include "api/server.hpp"
 #include "common/cli.hpp"
 #include "common/timer.hpp"
 #include "matrix/matrix.hpp"
@@ -25,70 +34,83 @@ int main(int argc, char** argv) {
   CliFlags flags;
   flags.add_int("nodes", 256, "mesh nodes (1-D chain)");
   flags.add_int("modes", 64, "Laplacian eigenmodes used");
-  flags.add_double("t", 0.1, "diffusion time");
+  flags.add_double("t", 0.1, "smallest diffusion time");
+  flags.add_int("steps", 4, "time-ladder steps (t, 2t, 4t, ...)");
   if (!flags.parse(argc, argv)) return 1;
 
   const index_t n = flags.get_int("nodes");
   const index_t k = flags.get_int("modes");
-  const double t = flags.get_double("t");
+  const double t0 = flags.get_double("t");
+  const int steps = std::max(1, static_cast<int>(flags.get_int("steps")));
   const double pi = 3.14159265358979323846;
 
   // 1-D path-graph Laplacian eigenpairs (DST-I basis):
   //   lambda_j = 2 - 2 cos(pi j / (n+1)),  phi_j(i) = sin(pi j (i+1)/(n+1)).
   // G(i, j) = phi_j(i) * exp(-lambda_j t / 2) * norm; K = G G^T.
   // AtA computes A^T A, so feed it A = G^T (k x n): A^T A = G G^T.
-  Matrix<double> a(k, n);
-  for (index_t j = 0; j < k; ++j) {
-    const double lambda = 2.0 - 2.0 * std::cos(pi * static_cast<double>(j + 1) / (n + 1));
-    const double scale = std::exp(-lambda * t / 2.0) * std::sqrt(2.0 / (n + 1));
-    for (index_t i = 0; i < n; ++i) {
-      a(j, i) = scale * std::sin(pi * static_cast<double>(j + 1) *
-                                 static_cast<double>(i + 1) / (n + 1));
-    }
-  }
-
-  std::printf("Heat kernel on a %ld-node chain, %ld modes, t = %.3f\n", n, k, t);
-  Timer timer;
-  auto kt = Matrix<double>::zeros(n, n);
-  ata(1.0, a.const_view(), kt.view());
-  symmetrize_from_lower(kt.view());
-  std::printf("K(t) via AtA: %.3f s\n", timer.seconds());
-
-  // Sanity: PSD (Cauchy-Schwarz on entries) and trace decay with time.
-  for (index_t i = 0; i < n; ++i) {
-    if (kt(i, i) < -1e-12) {
-      std::printf("FAILED: negative diagonal at %ld\n", i);
-      return 1;
-    }
-    for (index_t j = 0; j < i; ++j) {
-      if (kt(i, j) * kt(i, j) > kt(i, i) * kt(j, j) * (1 + 1e-9) + 1e-15) {
-        std::printf("FAILED: Cauchy-Schwarz violated at (%ld, %ld)\n", i, j);
-        return 1;
+  std::vector<Matrix<float>> bases;
+  for (int s = 0; s < steps; ++s) {
+    const double t = t0 * static_cast<double>(1 << s);
+    Matrix<float> a(k, n);
+    for (index_t j = 0; j < k; ++j) {
+      const double lambda = 2.0 - 2.0 * std::cos(pi * static_cast<double>(j + 1) / (n + 1));
+      const double scale = std::exp(-lambda * t / 2.0) * std::sqrt(2.0 / (n + 1));
+      for (index_t i = 0; i < n; ++i) {
+        a(j, i) = static_cast<float>(scale * std::sin(pi * static_cast<double>(j + 1) *
+                                                      static_cast<double>(i + 1) / (n + 1)));
       }
     }
+    bases.push_back(std::move(a));
   }
-  double trace_now = 0;
-  for (index_t i = 0; i < n; ++i) trace_now += kt(i, i);
 
-  // Larger t must shrink the trace (heat dissipates).
-  Matrix<double> a2(k, n);
-  for (index_t j = 0; j < k; ++j) {
-    const double lambda = 2.0 - 2.0 * std::cos(pi * static_cast<double>(j + 1) / (n + 1));
-    const double scale = std::exp(-lambda * (2 * t) / 2.0) * std::sqrt(2.0 / (n + 1));
+  std::printf("Heat kernel ladder on a %ld-node chain, %ld modes, t = %.3f x 2^{0..%d}, f32\n",
+              n, k, t0, steps - 1);
+
+  // One fused batch: every time step is one AtA request; all steps share
+  // one plan (same shape), so the batch plans once and runs as a single
+  // pool batch.
+  api::Server server;
+  std::vector<Matrix<float>> kernels;
+  for (int s = 0; s < steps; ++s) kernels.push_back(Matrix<float>::zeros(n, n));
+  std::vector<api::AtaRequest<float>> requests;
+  for (int s = 0; s < steps; ++s) {
+    requests.push_back({1.0f, bases[static_cast<std::size_t>(s)].const_view(),
+                        kernels[static_cast<std::size_t>(s)].view()});
+  }
+  Timer timer;
+  auto futures = server.submit_batch<float>(requests);
+  for (auto& f : futures) f.get();
+  std::printf("K(t) ladder via submit_batch: %d kernels in %.3f s (%zu plan miss(es))\n",
+              steps, timer.seconds(), static_cast<std::size_t>(server.plan_stats().misses));
+
+  // Sanity per step: PSD (Cauchy-Schwarz on entries), then trace decay
+  // along the ladder.
+  double prev_trace = 0.0;
+  for (int s = 0; s < steps; ++s) {
+    auto& kt = kernels[static_cast<std::size_t>(s)];
+    symmetrize_from_lower(kt.view());
     for (index_t i = 0; i < n; ++i) {
-      a2(j, i) = scale * std::sin(pi * static_cast<double>(j + 1) *
-                                  static_cast<double>(i + 1) / (n + 1));
+      if (kt(i, i) < -1e-5f) {
+        std::printf("FAILED: negative diagonal at %ld (step %d)\n", i, s);
+        return 1;
+      }
+      for (index_t j = 0; j < i; ++j) {
+        const double lhs = static_cast<double>(kt(i, j)) * kt(i, j);
+        const double rhs = static_cast<double>(kt(i, i)) * kt(j, j);
+        if (lhs > rhs * (1 + 1e-4) + 1e-9) {
+          std::printf("FAILED: Cauchy-Schwarz violated at (%ld, %ld), step %d\n", i, j, s);
+          return 1;
+        }
+      }
     }
-  }
-  auto kt2 = Matrix<double>::zeros(n, n);
-  ata(1.0, a2.const_view(), kt2.view());
-  double trace_later = 0;
-  for (index_t i = 0; i < n; ++i) trace_later += kt2(i, i);
-
-  std::printf("trace K(t) = %.4f, trace K(2t) = %.4f\n", trace_now, trace_later);
-  if (trace_later >= trace_now) {
-    std::printf("FAILED: heat kernel trace did not decay\n");
-    return 1;
+    double trace = 0.0;
+    for (index_t i = 0; i < n; ++i) trace += kt(i, i);
+    std::printf("trace K(%.3f) = %.4f\n", t0 * static_cast<double>(1 << s), trace);
+    if (s > 0 && trace >= prev_trace) {
+      std::printf("FAILED: heat kernel trace did not decay\n");
+      return 1;
+    }
+    prev_trace = trace;
   }
   std::printf("OK\n");
   return 0;

@@ -1,0 +1,59 @@
+#include "api/batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "api/execute.hpp"
+
+namespace atalib::api {
+
+template <typename T>
+BatchPlan build_batch_plan(PlanCache& cache, std::span<const AtaRequest<T>> requests,
+                           const SharedOptions& opts) {
+  BatchPlan batch;
+  batch.plan_of_request.reserve(requests.size());
+  batch.task_offset.reserve(requests.size() + 1);
+  batch.task_offset.push_back(0);
+
+  // Group by plan key: one PlanCache round-trip per distinct shape in the
+  // batch, however many requests share it. The local index is keyed by
+  // (m, n) only — every other key component is fixed by `opts` and T.
+  std::unordered_map<std::uint64_t, int> group_of_shape;
+  for (const AtaRequest<T>& req : requests) {
+    // Reject a mismatched C before touching the cache (same rule as
+    // Server::submit): a bad request must not build or evict plans.
+    if (req.c.rows != req.a.cols || req.c.cols != req.a.cols) {
+      throw std::invalid_argument(
+          "submit_batch: request " + std::to_string(batch.plan_of_request.size()) +
+          ": C must be n x n = " + std::to_string(req.a.cols) + "^2, got " +
+          std::to_string(req.c.rows) + "x" + std::to_string(req.c.cols));
+    }
+    const std::uint64_t shape = (static_cast<std::uint64_t>(req.a.rows) << 32) |
+                                (static_cast<std::uint64_t>(req.a.cols) & 0xffffffffu);
+    auto [it, fresh] = group_of_shape.try_emplace(
+        shape, static_cast<int>(batch.plans.size()));
+    if (fresh) {
+      auto plan = cache.get_or_build(
+          shared_plan_key(dtype_of<T>(), req.a.rows, req.a.cols, opts));
+      batch.workspace_bound = std::max(batch.workspace_bound, plan->workspace_bound());
+      batch.plans.push_back(std::move(plan));
+    }
+    const auto& plan = *batch.plans[static_cast<std::size_t>(it->second)];
+    check_shared<T>(plan, req.a, req.c);
+    batch.plan_of_request.push_back(it->second);
+    batch.task_offset.push_back(batch.task_offset.back() +
+                                static_cast<int>(plan.schedule().tasks.size()));
+  }
+  return batch;
+}
+
+#define ATALIB_API_BATCH_INST(T)                                   \
+  template BatchPlan build_batch_plan<T>(                          \
+      PlanCache&, std::span<const AtaRequest<T>>, const SharedOptions&)
+ATALIB_API_BATCH_INST(float);
+ATALIB_API_BATCH_INST(double);
+#undef ATALIB_API_BATCH_INST
+
+}  // namespace atalib::api

@@ -47,9 +47,18 @@ struct PlanKey {
   int p = 1;      ///< the paper's P: threads (shared) / processes (dist)
   int oversub = 1;         ///< shared only; always 1 for dist plans
   double lb_alpha = 0.0;   ///< dist only (§4.1.2); always 0 for shared plans
+  /// *Resolved* leaf engine: what the shape-aware planner chose, not what
+  /// the caller asked for. shared_plan_key turns kStrassen into kPanelSyrk
+  /// when m/n reaches the tall-skinny crossover (DESIGN.md §8).
   LeafEngine engine = LeafEngine::kStrassen;
   index_t base_case_elements = 0;  ///< *resolved* cut-off (auto -> tuner value)
   index_t min_dim = 8;
+  /// *Resolved* tall-skinny crossover the engine decision was made with
+  /// (auto -> tuner value for shapes the panel engine could serve; the raw
+  /// option otherwise). Part of the key for the same reason as the
+  /// base-case cut-off: two processes with different tuning outcomes must
+  /// not share a plan whose engine assumed the other crossover.
+  index_t tall_skinny_ratio = 0;
 
   bool operator==(const PlanKey&) const = default;
 

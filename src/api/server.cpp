@@ -1,8 +1,12 @@
 #include "api/server.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 #include "api/execute.hpp"
@@ -53,10 +57,191 @@ std::future<void> Server::submit(T alpha, ConstMatrixView<T> a, MatrixView<T> c)
   return submit(alpha, a, c, opts);
 }
 
+namespace {
+
+/// One unit of batched work: request `req`, task `local` of its plan.
+struct BatchUnit {
+  int req;
+  int local;
+};
+
+/// One pool task of a fused batch: a run of consecutive units. Multi-task
+/// plans get one unit per pool task (their stripes must spread over the
+/// pool); single-task requests are CHUNKED — consecutive same-plan
+/// requests share one pool task — so the per-task executor overhead
+/// (queue round-trip, context wake-up) is paid once per chunk, not once
+/// per tiny request. That amortization is where batch >> 1 beats a
+/// per-request loop even when no parallel speedup is available.
+struct BatchChunk {
+  int first_unit;
+  int nunits;
+};
+
+/// Shared lifetime of one fused batch: the plans, the request views, and
+/// the per-request completion/error bookkeeping every task touches. Tasks
+/// hold it by shared_ptr so the state outlives both the client (who may
+/// drop futures early) and the pool batch.
+template <typename T>
+struct BatchState {
+  BatchPlan batch;
+  std::vector<AtaRequest<T>> requests;
+  std::vector<std::promise<void>> promises;
+  std::vector<BatchUnit> units;
+  std::vector<BatchChunk> chunks;
+  // Atomics are not movable, so the per-request arrays live behind
+  // unique_ptr instead of vector.
+  std::unique_ptr<std::atomic<int>[]> remaining;
+  std::unique_ptr<std::atomic<bool>[]> failed;
+  std::vector<std::exception_ptr> errors;
+};
+
+}  // namespace
+
+template <typename T>
+std::vector<std::future<void>> Server::submit_batch(std::span<const AtaRequest<T>> requests,
+                                                    SharedOptions opts) {
+  opts.executor = nullptr;  // requests always execute on the server's pool
+  validate(opts);
+  if (requests.empty()) return {};
+
+  auto state = std::make_shared<BatchState<T>>();
+  // Throws std::invalid_argument on any bad request, before any promise
+  // exists or any task is enqueued: a rejected batch is all-or-nothing.
+  state->batch = build_batch_plan<T>(cache_, requests, opts);
+  state->requests.assign(requests.begin(), requests.end());
+
+  const std::size_t nreq = requests.size();
+  const int total = state->batch.total_tasks();
+  state->promises.resize(nreq);
+  state->units.reserve(static_cast<std::size_t>(total));
+  state->remaining = std::make_unique<std::atomic<int>[]>(nreq);
+  state->failed = std::make_unique<std::atomic<bool>[]>(nreq);
+  state->errors.resize(nreq);
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(nreq);
+  for (std::size_t r = 0; r < nreq; ++r) {
+    const int ntasks = state->batch.task_offset[r + 1] - state->batch.task_offset[r];
+    state->remaining[r].store(ntasks, std::memory_order_relaxed);
+    state->failed[r].store(false, std::memory_order_relaxed);
+    for (int local = 0; local < ntasks; ++local) {
+      state->units.push_back({static_cast<int>(r), local});
+    }
+    futures.push_back(state->promises[r].get_future());
+  }
+
+  // Chunk the unit list into pool tasks. Serial (single-task) requests
+  // coalesce into runs of up to `chunk_target` consecutive same-plan
+  // units; multi-task plans stay one unit per pool task so their stripes
+  // spread over the pool. The target keeps several chunks per worker so
+  // stealing can still balance an uneven batch.
+  const int chunk_target =
+      std::clamp(total / (std::max(1, pool_.concurrency()) * 8), 1, 64);
+  for (int u = 0; u < total;) {
+    const int req = state->units[static_cast<std::size_t>(u)].req;
+    const int plan_idx = state->batch.plan_of_request[static_cast<std::size_t>(req)];
+    const bool serial =
+        state->batch.task_offset[static_cast<std::size_t>(req) + 1] -
+            state->batch.task_offset[static_cast<std::size_t>(req)] ==
+        1;
+    int len = 1;
+    if (serial) {
+      while (u + len < total && len < chunk_target) {
+        const auto& next = state->units[static_cast<std::size_t>(u + len)];
+        const auto nr = static_cast<std::size_t>(next.req);
+        if (state->batch.plan_of_request[nr] != plan_idx ||
+            state->batch.task_offset[nr + 1] - state->batch.task_offset[nr] != 1) {
+          break;
+        }
+        ++len;
+      }
+    }
+    state->chunks.push_back({u, len});
+    u += len;
+  }
+
+  // One warm call for the whole batch: the pool's high-water mark covers
+  // the largest plan, so every task's arena request is satisfied from the
+  // already-grown slot slabs (the zero-slab warm-path invariant).
+  if constexpr (std::is_same_v<T, float>) {
+    pool_.warm_workspaces(state->batch.workspace_bound, 0);
+  } else {
+    pool_.warm_workspaces(0, state->batch.workspace_bound);
+  }
+
+  // Per-request completion: the unit that takes `remaining` to zero
+  // settles that request's promise. The first failing unit of a request
+  // claims the error slot (CAS), writes the exception_ptr, and the
+  // acq_rel decrement chain publishes it to whichever unit settles —
+  // so a failure surfaces on its own request's future and never on the
+  // (discarded) pool-level batch future or on a sibling request.
+  auto body = [state](int t, runtime::TaskContext& ctx) {
+    const BatchChunk chunk = state->chunks[static_cast<std::size_t>(t)];
+    for (int u = chunk.first_unit; u < chunk.first_unit + chunk.nunits; ++u) {
+      const BatchUnit unit = state->units[static_cast<std::size_t>(u)];
+      const int req = unit.req;
+      const AtaRequest<T>& r = state->requests[static_cast<std::size_t>(req)];
+      const AtaPlan& plan =
+          *state->batch.plans[static_cast<std::size_t>(
+              state->batch.plan_of_request[static_cast<std::size_t>(req)])];
+      try {
+        run_plan_task(plan, unit.local, r.alpha, r.a, r.c, ctx);
+      } catch (...) {
+        bool claimed = false;
+        if (state->failed[req].compare_exchange_strong(claimed, true,
+                                                       std::memory_order_relaxed)) {
+          state->errors[static_cast<std::size_t>(req)] = std::current_exception();
+        }
+      }
+      if (state->remaining[req].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (state->failed[req].load(std::memory_order_relaxed)) {
+          state->promises[static_cast<std::size_t>(req)].set_exception(
+              state->errors[static_cast<std::size_t>(req)]);
+        } else {
+          state->promises[static_cast<std::size_t>(req)].set_value();
+        }
+      }
+    }
+  };
+
+  const int nchunks = static_cast<int>(state->chunks.size());
+  const int nnodes = pool_.numa_nodes();
+  if (nnodes > 1) {
+    // Round-robin *chunks* over nodes (small single-task requests are
+    // the common case), while a request split into stripes keeps its
+    // plan's stripe->node mapping, rotated by the request index.
+    auto hint = [state, nnodes](int t) {
+      const BatchChunk chunk = state->chunks[static_cast<std::size_t>(t)];
+      const BatchUnit unit = state->units[static_cast<std::size_t>(chunk.first_unit)];
+      const AtaPlan& plan =
+          *state->batch.plans[static_cast<std::size_t>(
+              state->batch.plan_of_request[static_cast<std::size_t>(unit.req)])];
+      const int pref = plan.preferred_node(unit.local, nnodes);
+      return pref < 0 ? unit.req % nnodes : (unit.req + pref) % nnodes;
+    };
+    pool_.submit(nchunks, std::move(body), hint);
+  } else {
+    pool_.submit(nchunks, std::move(body));
+  }
+  return futures;
+}
+
+template <typename T>
+std::vector<std::future<void>> Server::submit_batch(std::span<const AtaRequest<T>> requests) {
+  SharedOptions opts;
+  opts.threads = 1;
+  opts.oversub = 1;
+  return submit_batch(requests, opts);
+}
+
 #define ATALIB_API_SERVER_INST(T)                                                      \
   template std::future<void> Server::submit<T>(T, ConstMatrixView<T>, MatrixView<T>,   \
                                                SharedOptions);                         \
-  template std::future<void> Server::submit<T>(T, ConstMatrixView<T>, MatrixView<T>)
+  template std::future<void> Server::submit<T>(T, ConstMatrixView<T>, MatrixView<T>);  \
+  template std::vector<std::future<void>> Server::submit_batch<T>(                     \
+      std::span<const AtaRequest<T>>, SharedOptions);                                  \
+  template std::vector<std::future<void>> Server::submit_batch<T>(                     \
+      std::span<const AtaRequest<T>>)
 ATALIB_API_SERVER_INST(float);
 ATALIB_API_SERVER_INST(double);
 #undef ATALIB_API_SERVER_INST

@@ -21,7 +21,10 @@
 // amortization the ROADMAP's repeated-traffic north star asks for.
 
 #include <future>
+#include <span>
+#include <vector>
 
+#include "api/batch.hpp"
 #include "api/plan_cache.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -65,6 +68,30 @@ class Server {
   template <typename T>
   std::future<void> submit(T alpha, ConstMatrixView<T> a, MatrixView<T> c);
 
+  /// Admit many requests as ONE fused executor batch (the small-Gram
+  /// throughput path, DESIGN.md §8): group by shape through the plan cache
+  /// (one lookup per distinct shape), warm the pool once to the batch-wide
+  /// workspace bound, and enqueue every request's tasks as a single queued
+  /// pool batch with NUMA round-robin hints — per-worker pack buffers and
+  /// arenas are shared across the whole batch, so the warm path performs
+  /// zero schedule builds and zero slab allocations regardless of batch
+  /// size. Returns one future per request, in order; a task failure
+  /// surfaces on its own request's future only. Validation is
+  /// all-or-nothing: any bad request throws std::invalid_argument before
+  /// anything is enqueued. Buffer-lifetime rules match submit(), per
+  /// request. Requests of one batch share `opts` (and a scalar type);
+  /// opts.executor is ignored.
+  template <typename T>
+  std::vector<std::future<void>> submit_batch(std::span<const AtaRequest<T>> requests,
+                                              SharedOptions opts);
+
+  /// submit_batch() with the batched-serving default plan shape: width 1,
+  /// oversub 1 — each small request is one serial task, and parallelism
+  /// comes from the *batch* spreading requests over the pool, not from
+  /// splitting any single small Gram into stripes.
+  template <typename T>
+  std::vector<std::future<void>> submit_batch(std::span<const AtaRequest<T>> requests);
+
   PlanCacheStats plan_stats() const { return cache_.stats(); }
   /// Topology + steal-locality snapshot of the serving pool: per-node
   /// scheduled/executed task counts and local/remote steal totals
@@ -82,7 +109,12 @@ class Server {
 #define ATALIB_API_SERVER_EXTERN(T)                                                    \
   extern template std::future<void> Server::submit<T>(T, ConstMatrixView<T>,           \
                                                       MatrixView<T>, SharedOptions);   \
-  extern template std::future<void> Server::submit<T>(T, ConstMatrixView<T>, MatrixView<T>)
+  extern template std::future<void> Server::submit<T>(T, ConstMatrixView<T>,           \
+                                                      MatrixView<T>);                  \
+  extern template std::vector<std::future<void>> Server::submit_batch<T>(              \
+      std::span<const AtaRequest<T>>, SharedOptions);                                  \
+  extern template std::vector<std::future<void>> Server::submit_batch<T>(              \
+      std::span<const AtaRequest<T>>)
 ATALIB_API_SERVER_EXTERN(float);
 ATALIB_API_SERVER_EXTERN(double);
 #undef ATALIB_API_SERVER_EXTERN

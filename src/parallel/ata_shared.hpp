@@ -40,6 +40,15 @@ struct SharedOptions {
   /// with the distributed layer (parallel/leaf_exec.hpp).
   using Engine = LeafEngine;
   Engine engine = Engine::kStrassen;
+  /// Tall-skinny planner knob (only meaningful with engine == kStrassen):
+  /// when m/n reaches this ratio the plan is served by the blocked
+  /// panel-SYRK engine instead of the recursion (api::shared_plan_key).
+  /// 0 = auto — resolve the crossover through the measured tuner
+  /// (strassen::Tuner::tall_skinny_ratio); > 0 = forced threshold (the
+  /// planner floors it at 2 — below m = 2n the recursion always wins);
+  /// -1 = disable the panel fast path entirely (forced-recursive plans,
+  /// the bench/test control).
+  index_t tall_skinny_ratio = 0;
   /// Execution engine; null uses runtime::default_executor().
   runtime::Executor* executor = nullptr;
 };

@@ -16,6 +16,13 @@ namespace atalib {
 /// cache probe when no crossover is found or under the forced-scalar env.
 index_t tuned_base_case_elements(std::size_t elem_bytes);
 
+/// Measured tall-skinny crossover ratio m/n at which the blocked
+/// panel-SYRK engine beats the Strassen recursion for scalars of
+/// `elem_bytes` bytes (strassen/tuner.cpp; cached per ISA/dtype alongside
+/// the base-case entries). The shape-aware planner (api::shared_plan_key)
+/// consults this when SharedOptions::tall_skinny_ratio is 0.
+index_t tuned_tall_skinny_ratio(std::size_t elem_bytes);
+
 /// Recursion cut-off options. The algorithms are cache-oblivious: these
 /// thresholds only pick the hand-off point to the leaf BLAS kernel
 /// (Algorithm 1 line 2: "if m x n <= cache size").

@@ -6,8 +6,10 @@
 #include <sstream>
 #include <string_view>
 
+#include "ata/ata.hpp"
 #include "blas/gemm.hpp"
 #include "blas/kernels/registry.hpp"
+#include "blas/panel_syrk.hpp"
 #include "common/cacheinfo.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -82,6 +84,49 @@ index_t measure_crossover() {
   return 0;
 }
 
+/// Time the Strassen AtA recursion against the blocked panel-SYRK on
+/// m = ratio * n inputs (n fixed small, the serving shape) and return the
+/// smallest ladder ratio where the panel engine wins, or 0 if it never
+/// does. `base` is the already-resolved Strassen base-case cut-off, passed
+/// in so this measurement can never re-enter the tuner.
+template <typename T>
+index_t measure_ts_crossover(index_t base) {
+  constexpr index_t kN = 64;
+  constexpr index_t kRatios[] = {2, 4, 8, 16, 32};
+  constexpr int kReps = 3;
+  const index_t mmax = kRatios[sizeof(kRatios) / sizeof(kRatios[0]) - 1] * kN;
+
+  Matrix<T> a(mmax, kN);
+  Matrix<T> c(kN, kN);
+  Xoshiro256 rng(0x7a11f1a7ULL);
+  for (index_t i = 0; i < mmax * kN; ++i) {
+    a.data()[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
+  }
+  for (index_t i = 0; i < kN * kN; ++i) c.data()[i] = T(0);
+
+  RecurseOptions rec;
+  rec.base_case_elements = base;  // explicit: never re-enters the tuner
+  for (const index_t ratio : kRatios) {
+    const index_t m = ratio * kN;
+    const ConstMatrixView<T> av(a.data(), m, kN, kN);
+    MatrixView<T> cv = c.view();
+
+    Arena<T> arena(static_cast<std::size_t>(
+        std::max(ata_workspace_bound(m, kN, rec, sizeof(T)),
+                 blas::panel_syrk_workspace_bound<T>(m, kN))));
+    const double t_strassen =
+        min_time_of([&] { ata(T(1), av, cv, arena, rec); }, kReps);
+    const double t_panel = min_time_of(
+        [&] {
+          arena.reset();
+          blas::panel_syrk_ln(T(1), av, cv, &arena);
+        },
+        kReps);
+    if (t_panel < t_strassen) return ratio;
+  }
+  return 0;
+}
+
 }  // namespace
 
 index_t Tuner::load_cached(const std::string& key) const {
@@ -149,6 +194,38 @@ index_t Tuner::base_case_elements(std::size_t elem_bytes) {
   return value;
 }
 
+index_t Tuner::tall_skinny_ratio(std::size_t elem_bytes) {
+  // Static default when measurement is unavailable: m/n >= 8 is deep into
+  // the territory where the recursion's n-extent halving has hit min_dim.
+  constexpr index_t kDefault = 8;
+  if (env_forces_scalar()) return kDefault;
+
+  // Resolve the Strassen side's cut-off first (own lock acquisition, so the
+  // measurement below can never re-enter the tuner lock).
+  const index_t base = base_case_elements(elem_bytes);
+
+  const std::string key = (elem_bytes == sizeof(float) ? tuning_key<float>()
+                                                       : tuning_key<double>()) +
+                          "-ts";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  index_t value = load_cached(key);
+  if (value == 0) {
+    const index_t measured = elem_bytes == sizeof(float)
+                                 ? measure_ts_crossover<float>(base)
+                                 : measure_ts_crossover<double>(base);
+    // No crossover on the ladder -> the panel engine never won; a huge
+    // ratio keeps the planner on the recursion for every realistic shape.
+    value = measured == 0 ? (index_t{1} << 20)
+                          : std::min(std::max<index_t>(measured, 2), index_t{64});
+    store(key, value);
+  }
+  memo_.emplace(key, value);
+  return value;
+}
+
 Tuner& Tuner::global() {
   static Tuner tuner = [] {
     const char* path = std::getenv("ATALIB_TUNING_CACHE");
@@ -163,6 +240,10 @@ namespace atalib {
 
 index_t tuned_base_case_elements(std::size_t elem_bytes) {
   return strassen::Tuner::global().base_case_elements(elem_bytes);
+}
+
+index_t tuned_tall_skinny_ratio(std::size_t elem_bytes) {
+  return strassen::Tuner::global().tall_skinny_ratio(elem_bytes);
 }
 
 }  // namespace atalib

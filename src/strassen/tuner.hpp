@@ -38,6 +38,16 @@ class Tuner {
   /// tier (that CI leg must not depend on machine-speed measurements).
   index_t base_case_elements(std::size_t elem_bytes);
 
+  /// Tall-skinny crossover ratio for the shape-aware planner (DESIGN.md
+  /// §8): the smallest m/n at which the blocked panel-SYRK engine beats
+  /// the Strassen recursion on this (ISA, dtype). Same resolution order
+  /// and cache file as base_case_elements (lines "<isa> <f32|f64>-ts
+  /// <ratio>"); falls back to a static default of 8 when the ladder finds
+  /// no crossover or under ATALIB_FORCE_SCALAR_KERNELS. Plans built with
+  /// SharedOptions::tall_skinny_ratio == 0 route through this and store
+  /// the resolved ratio in their cache key.
+  index_t tall_skinny_ratio(std::size_t elem_bytes);
+
   /// Process-wide tuner; cache path read once from ATALIB_TUNING_CACHE.
   static Tuner& global();
 

@@ -338,6 +338,76 @@ TEST(SharedOptionsValidation, RejectsBadRecurseCutoffsEverywhere) {
   EXPECT_THROW(dist::ata_dist(1.0, a, dopts), std::invalid_argument);
 }
 
+// ---- Shape-aware planner: the tall-skinny engine choice ----------------
+
+SharedOptions ratio_opts(index_t tall_skinny_ratio) {
+  SharedOptions so = shared_opts(2, 1);
+  so.tall_skinny_ratio = tall_skinny_ratio;
+  return so;
+}
+
+TEST(QueryPlanner, TallSkinnyCrossoverSelectsPanelSyrkEngine) {
+  // Forced thresholds on both sides of the shape make the choice an
+  // oracle: m/n = 16 selects the panel engine iff the threshold is at or
+  // below 16, and the decision (plus the ratio it was made with) is
+  // captured in the plan key.
+  const index_t m = 1024, n = 64;  // m/n = 16
+  const auto below = api::shared_plan_key(api::dtype_of<double>(), m, n, ratio_opts(8));
+  EXPECT_EQ(below.engine, LeafEngine::kPanelSyrk);
+  EXPECT_EQ(below.tall_skinny_ratio, 8);
+
+  const auto above = api::shared_plan_key(api::dtype_of<double>(), m, n, ratio_opts(32));
+  EXPECT_EQ(above.engine, LeafEngine::kStrassen);
+  EXPECT_EQ(above.tall_skinny_ratio, 32);
+
+  const auto disabled = api::shared_plan_key(api::dtype_of<double>(), m, n, ratio_opts(-1));
+  EXPECT_EQ(disabled.engine, LeafEngine::kStrassen);
+  EXPECT_EQ(disabled.tall_skinny_ratio, -1);
+
+  EXPECT_NE(below, above) << "the resolved ratio must separate cached plans";
+
+  // Square-ish shapes never take the fast path regardless of threshold.
+  const auto square = api::shared_plan_key(api::dtype_of<double>(), 96, 80, ratio_opts(2));
+  EXPECT_EQ(square.engine, LeafEngine::kStrassen);
+
+  // A forced non-Strassen engine is never overridden by the planner.
+  SharedOptions blas_engine = ratio_opts(2);
+  blas_engine.engine = LeafEngine::kBlas;
+  EXPECT_EQ(api::shared_plan_key(api::dtype_of<double>(), m, n, blas_engine).engine,
+            LeafEngine::kBlas);
+}
+
+TEST(QueryPlanner, PanelSyrkPlanExecutesBitwiseEqualToRecursive) {
+  // Both engine choices on one tall-skinny input must agree bitwise on
+  // integer data — the planner changes the schedule, not the math.
+  const index_t m = 1024, n = 48;
+  const auto a = random_integer<double>(m, n, 2, 77);
+  auto c_ref = Matrix<double>::zeros(n, n);
+  ata(1.0, a.const_view(), c_ref.view(), tiny_base());
+
+  auto c_panel = Matrix<double>::zeros(n, n);
+  ata_shared(1.0, a.const_view(), c_panel.view(), ratio_opts(4));  // panel engine
+  EXPECT_EQ(max_abs_diff_lower<double>(c_panel.const_view(), c_ref.const_view()), 0.0);
+
+  auto c_rec = Matrix<double>::zeros(n, n);
+  ata_shared(1.0, a.const_view(), c_rec.view(), ratio_opts(-1));  // forced recursive
+  EXPECT_EQ(max_abs_diff_lower<double>(c_rec.const_view(), c_ref.const_view()), 0.0);
+
+  auto c_f32 = Matrix<float>::zeros(n, n);
+  const auto a_f32 = random_integer<float>(m, n, 2, 78);
+  auto c_f32_ref = Matrix<float>::zeros(n, n);
+  ata(1.0f, a_f32.const_view(), c_f32_ref.view(), tiny_base());
+  ata_shared(1.0f, a_f32.const_view(), c_f32.view(), ratio_opts(4));
+  EXPECT_EQ(max_abs_diff_lower<float>(c_f32.const_view(), c_f32_ref.const_view()), 0.0);
+}
+
+TEST(QueryPlanner, RejectsRatioBelowMinusOne) {
+  const auto a = random_integer<double>(64, 16, 2, 4);
+  auto c = Matrix<double>::zeros(16, 16);
+  SharedOptions so = ratio_opts(-2);
+  EXPECT_THROW(ata_shared(1.0, a.const_view(), c.view(), so), std::invalid_argument);
+}
+
 TEST(SharedOptionsValidation, ValidOptionsStillCompute) {
   const auto a = random_integer<double>(40, 32, 2, 3);
   auto c_ref = Matrix<double>::zeros(32, 32);

@@ -20,7 +20,7 @@ std::shared_ptr<const AtaPlan> PlanCache::get_or_build(const PlanKey& key) {
   std::optional<std::promise<std::shared_ptr<const AtaPlan>>> prom;
   std::uint64_t my_id = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       ++hits_;
@@ -60,14 +60,14 @@ std::shared_ptr<const AtaPlan> PlanCache::get_or_build(const PlanKey& key) {
       prom->set_value(AtaPlan::build(key));
       // Mark the entry evictable (unless eviction already dropped it or a
       // later build re-inserted the key).
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       auto it = map_.find(key);
       if (it != map_.end() && it->second.id == my_id) it->second.ready = true;
     } catch (...) {
       {
         // Forget the failed entry (unless eviction already dropped it or a
         // later build re-inserted the key) so the next request retries.
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         auto it = map_.find(key);
         if (it != map_.end() && it->second.id == my_id) {
           lru_.erase(it->second.lru_it);
@@ -81,12 +81,12 @@ std::shared_ptr<const AtaPlan> PlanCache::get_or_build(const PlanKey& key) {
 }
 
 bool PlanCache::contains(const PlanKey& key) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return map_.find(key) != map_.end();
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   PlanCacheStats s;
   s.hits = hits_;
   s.misses = misses_;
@@ -97,7 +97,7 @@ PlanCacheStats PlanCache::stats() const {
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   map_.clear();
   lru_.clear();
 }

@@ -16,10 +16,10 @@
 #include <cstdint>
 #include <future>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
 #include "api/plan.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace atalib::api {
 
@@ -73,14 +73,17 @@ class PlanCache {
     bool ready = false;
   };
 
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  Lru lru_;
-  std::unordered_map<PlanKey, Entry, PlanKeyHash> map_;
-  std::uint64_t next_id_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  /// One lock covers the LRU list, the map, and the stats counters: every
+  /// mutation touches at least two of them and must be atomic as a group
+  /// (splice + map update, insert + eviction scan).
+  mutable Mutex mu_;
+  std::size_t capacity_;  ///< immutable after construction
+  Lru lru_ ATALIB_GUARDED_BY(mu_);
+  std::unordered_map<PlanKey, Entry, PlanKeyHash> map_ ATALIB_GUARDED_BY(mu_);
+  std::uint64_t next_id_ ATALIB_GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ ATALIB_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ ATALIB_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ ATALIB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace atalib::api

@@ -7,13 +7,30 @@
 // a checkpoint, bump-allocates its temporaries, and restores the checkpoint
 // on unwind, so the deepest recursion path determines the footprint and no
 // malloc/free happens inside the recursion.
+//
+// Under ATALIB_CHECKED (common/checked.hpp, DESIGN.md §9) the arena also
+// verifies its lifetime contract: a canary word is kept just past the live
+// region and checked on every checkpoint restore / reset (catching writes
+// past the end of the most recent allocation), rolled-back and reset memory
+// is poison-filled with 0xA5 bytes (catching reads of released
+// temporaries), and a lease stamp records the thread the owning Workspace
+// handed the arena to (catching a task bump-allocating out of another
+// slot's arena). Release builds compile all of that away — allocate stays
+// a bounds check and two word updates.
 
 #include <cstddef>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/aligned_buffer.hpp"
+#include "common/checked.hpp"
 
 namespace atalib {
+
+#if ATALIB_CHECKED
+inline constexpr unsigned char kArenaPoisonByte = 0xA5;
+inline constexpr unsigned char kArenaCanaryByte = 0xCA;
+#endif
 
 /// Bump allocator over a single aligned double-precision-sized slab.
 /// Allocation is O(1); freeing happens only via checkpoints (LIFO).
@@ -22,7 +39,11 @@ class Arena {
  public:
   Arena() = default;
   /// Construct with capacity for `count` elements of T.
-  explicit Arena(std::size_t count) : slab_(count) {}
+  explicit Arena(std::size_t count) : slab_(count) {
+#if ATALIB_CHECKED
+    poison(0, slab_.size());
+#endif
+  }
 
   /// Total capacity in elements.
   std::size_t capacity() const noexcept { return slab_.size(); }
@@ -39,15 +60,27 @@ class Arena {
     if (top_ + count > slab_.size()) {
       throw std::length_error("Arena exhausted: workspace bound violated");
     }
+#if ATALIB_CHECKED
+    check_owner();
+#endif
     T* p = slab_.data() + top_;
     top_ += count;
     if (top_ > high_water_) high_water_ = top_;
+#if ATALIB_CHECKED
+    place_canary();
+#endif
     return p;
   }
 
   /// Discard every allocation (capacity and high-water mark retained).
   /// Used by the runtime's per-worker workspace reuse between tasks.
-  void reset() noexcept { top_ = 0; }
+  void reset() noexcept {
+#if ATALIB_CHECKED
+    verify_canary();
+    poison(0, top_);
+#endif
+    top_ = 0;
+  }
 
   /// Grow capacity to at least `count` elements; never shrinks. Only valid
   /// while the arena is empty — contents are not preserved.
@@ -57,6 +90,10 @@ class Arena {
       throw std::logic_error("Arena::reserve on a non-empty arena");
     }
     slab_ = AlignedBuffer<T>(count);
+#if ATALIB_CHECKED
+    canary_at_ = kNoCanary;
+    poison(0, slab_.size());
+#endif
   }
 
   /// LIFO checkpoint token.
@@ -67,7 +104,21 @@ class Arena {
   Checkpoint checkpoint() const noexcept { return Checkpoint{top_}; }
 
   /// Roll back to `cp`, releasing everything allocated after it.
-  void restore(Checkpoint cp) noexcept { top_ = cp.top; }
+  void restore(Checkpoint cp) noexcept {
+#if ATALIB_CHECKED
+    verify_canary();
+    poison(cp.top, top_);
+#endif
+    top_ = cp.top;
+  }
+
+#if ATALIB_CHECKED
+  /// Stamp the arena with its current lessee (checked builds only): the
+  /// Workspace hands an arena to one task on one thread at a time, and
+  /// every allocate() after this call must come from that thread. 0 clears
+  /// the stamp (arenas used outside the slot protocol stay unchecked).
+  void begin_lease(std::size_t thread_token) noexcept { owner_ = thread_token; }
+#endif
 
   /// RAII helper: restores the checkpoint taken at construction.
   class Scope {
@@ -83,9 +134,55 @@ class Arena {
   };
 
  private:
+#if ATALIB_CHECKED
+  static constexpr std::size_t kNoCanary = static_cast<std::size_t>(-1);
+
+  /// Keep one canary element just past the live region (when a free slot
+  /// exists). Earlier canaries are legitimately overwritten by later
+  /// allocations; only the newest boundary is verifiable — which is exactly
+  /// where an "wrote count+1 elements" overrun lands.
+  void place_canary() noexcept {
+    if (top_ < slab_.size()) {
+      std::memset(slab_.data() + top_, kArenaCanaryByte, sizeof(T));
+      canary_at_ = top_;
+    } else {
+      canary_at_ = kNoCanary;
+    }
+  }
+
+  void verify_canary() const noexcept {
+    if (canary_at_ == kNoCanary) return;
+    unsigned char expect[sizeof(T)];
+    std::memset(expect, kArenaCanaryByte, sizeof(T));
+    if (std::memcmp(slab_.data() + canary_at_, expect, sizeof(T)) != 0) {
+      checked_abort("arena canary overwritten",
+                    "a task wrote past the end of its most recent arena allocation");
+    }
+  }
+
+  void poison(std::size_t lo, std::size_t hi) noexcept {
+    if (hi > lo) {
+      std::memset(slab_.data() + lo, kArenaPoisonByte, (hi - lo) * sizeof(T));
+    }
+    canary_at_ = kNoCanary;
+  }
+
+  void check_owner() const noexcept {
+    if (owner_ != 0 && owner_ != checked_thread_token()) {
+      checked_abort("arena lease violated",
+                    "allocate() from a thread that does not hold the workspace "
+                    "lease (cross-task arena aliasing)");
+    }
+  }
+#endif
+
   AlignedBuffer<T> slab_;
   std::size_t top_ = 0;
   std::size_t high_water_ = 0;
+#if ATALIB_CHECKED
+  std::size_t canary_at_ = kNoCanary;
+  std::size_t owner_ = 0;
+#endif
 };
 
 extern template class Arena<float>;

@@ -1,0 +1,22 @@
+#include "common/checked.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+namespace atalib {
+
+void checked_abort(const char* invariant, const char* detail) {
+  std::fprintf(stderr, "atalib ATALIB_CHECKED violation: %s%s%s\n", invariant,
+               detail ? ": " : "", detail ? detail : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::size_t checked_thread_token() {
+  const std::size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return h == 0 ? 1 : h;  // 0 means "no owner"
+}
+
+}  // namespace atalib

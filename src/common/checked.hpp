@@ -1,0 +1,39 @@
+#pragma once
+// ATALIB_CHECKED: the instrumented memory-lifetime build mode (DESIGN.md §9).
+//
+// Compiled with -DATALIB_CHECKED=1 (CMake option ATALIB_CHECKED), the
+// common/arena + runtime/workspace layer verifies the invariants the release
+// build merely documents:
+//   - canary words after the live allocation, verified on checkpoint
+//     restore/reset (buffer overruns past an arena allocation);
+//   - poison-filling of memory released by checkpoint rollback (stale reads
+//     of rolled-back temporaries produce loud garbage, not yesterday's
+//     answer);
+//   - owning-thread lease stamps (a task using another slot's arena — the
+//     cross-task aliasing bug class — is caught at the allocate call);
+//   - the §5 warm-path ordering (a request covered by the pool's warmed
+//     high-water mark must never grow a slab; a grow there means the warm
+//     protocol missed a slot).
+//
+// A violation calls checked_abort(), which prints the invariant and aborts —
+// gtest death tests assert the negative cases (tests/test_checked.cpp).
+// Release builds (ATALIB_CHECKED=0, the default) compile all of it away:
+// the arena keeps its exact two-word hot path and zero extra state writes.
+
+#include <cstddef>
+
+#if !defined(ATALIB_CHECKED)
+#define ATALIB_CHECKED 0
+#endif
+
+namespace atalib {
+
+/// Report a checked-mode invariant violation and abort. `invariant` names
+/// the broken rule; `detail` is free-form context (may be null).
+[[noreturn]] void checked_abort(const char* invariant, const char* detail = nullptr);
+
+/// Stable hash of the calling thread's id, used for arena lease stamps
+/// (0 is reserved for "no owner").
+std::size_t checked_thread_token();
+
+}  // namespace atalib

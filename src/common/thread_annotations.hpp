@@ -1,0 +1,116 @@
+#pragma once
+// Clang Thread Safety Analysis vocabulary (DESIGN.md §9).
+//
+// The repo's lock discipline — which mutex guards which field, which
+// functions require or must not hold a lock — used to live in comments.
+// These macros state it in a form `clang -Wthread-safety` checks at compile
+// time, so a new call path that touches guarded state without its lock is a
+// build error on clang (CI's thread-safety leg builds with
+// -Werror=thread-safety). Under gcc (and any compiler without the
+// attributes) every macro expands to nothing, so release builds and the
+// default CI legs are unaffected.
+//
+// Conventions (see DESIGN.md §9 for the full contract):
+//   - Every mutex that guards data is an atalib::Mutex (below), never a raw
+//     std::mutex: only annotated capability types participate in the
+//     analysis.
+//   - Fields name their guard: `bool stop_ ATALIB_GUARDED_BY(mu_);`
+//   - Functions that must be called with a lock held say so:
+//     `void retire() ATALIB_REQUIRES(mu_);` — callers then fail to compile
+//     unless the analysis can see them holding mu_.
+//   - Lock lifetimes that outlive a lexical scope (e.g. dist::RankPoolLease
+//     holds the rank-pool mutex for the lease object's lifetime) are beyond
+//     the scope-based analysis; such functions carry
+//     ATALIB_NO_THREAD_SAFETY_ANALYSIS plus a comment saying why.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ATALIB_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#if !defined(ATALIB_THREAD_ANNOTATION)
+#define ATALIB_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define ATALIB_CAPABILITY(x) ATALIB_THREAD_ANNOTATION(capability(x))
+#define ATALIB_SCOPED_CAPABILITY ATALIB_THREAD_ANNOTATION(scoped_lockable)
+#define ATALIB_GUARDED_BY(x) ATALIB_THREAD_ANNOTATION(guarded_by(x))
+#define ATALIB_PT_GUARDED_BY(x) ATALIB_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ATALIB_REQUIRES(...) \
+  ATALIB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ATALIB_EXCLUDES(...) ATALIB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ATALIB_ACQUIRE(...) ATALIB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ATALIB_TRY_ACQUIRE(...) \
+  ATALIB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define ATALIB_RELEASE(...) ATALIB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ATALIB_ASSERT_CAPABILITY(x) ATALIB_THREAD_ANNOTATION(assert_capability(x))
+#define ATALIB_RETURN_CAPABILITY(x) ATALIB_THREAD_ANNOTATION(lock_returned(x))
+#define ATALIB_NO_THREAD_SAFETY_ANALYSIS \
+  ATALIB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#include <mutex>
+
+namespace atalib {
+
+/// std::mutex wrapped as a clang capability. Identical cost (the wrapper is
+/// a single std::mutex; every method is a forwarding inline), but fields
+/// can be ATALIB_GUARDED_BY it and lock discipline becomes compiler-checked.
+/// Works with std::condition_variable_any (a BasicLockable), which is what
+/// the pool and mailboxes wait on.
+class ATALIB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ATALIB_ACQUIRE() { mu_.lock(); }
+  void unlock() ATALIB_RELEASE() { mu_.unlock(); }
+  bool try_lock() ATALIB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard equivalent over Mutex, visible to the analysis.
+class ATALIB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ATALIB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() ATALIB_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Relockable scoped lock over Mutex (std::unique_lock equivalent) for
+/// condition-variable waits and hold/release/reacquire sections. Pass it to
+/// std::condition_variable_any::wait — the analysis treats the capability
+/// as held across the wait, matching the postcondition (the lock is
+/// reacquired before wait returns).
+class ATALIB_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ATALIB_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+  ~UniqueLock() ATALIB_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  void lock() ATALIB_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() ATALIB_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+}  // namespace atalib

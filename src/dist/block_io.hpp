@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "matrix/matrix.hpp"
+#include "matrix/packed.hpp"
 #include "mpisim/communicator.hpp"
 #include "sched/task.hpp"
 
@@ -24,7 +25,7 @@ namespace atalib::dist {
 template <typename T>
 void send_block(mpisim::RankCtx& ctx, int dest, int tag, ConstMatrixView<T> v,
                 std::vector<T>& staging) {
-  staging.resize(static_cast<std::size_t>(v.rows * v.cols));
+  staging.resize(static_cast<std::size_t>(v.rows) * static_cast<std::size_t>(v.cols));
   T* out = staging.data();
   for (index_t i = 0; i < v.rows; ++i) {
     std::memcpy(out, v.data + i * v.stride, static_cast<std::size_t>(v.cols) * sizeof(T));
@@ -39,7 +40,7 @@ template <typename T>
 std::vector<T> recv_block(mpisim::RankCtx& ctx, int source, int tag, index_t rows,
                           index_t cols) {
   std::vector<T> data = ctx.recv<T>(source, tag);
-  if (data.size() != static_cast<std::size_t>(rows * cols)) {
+  if (data.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
     throw std::logic_error("dist protocol error: block payload size mismatch");
   }
   return data;
@@ -70,7 +71,7 @@ template <typename T>
 void send_packed_lower(mpisim::RankCtx& ctx, int dest, int tag, ConstMatrixView<T> v,
                        std::vector<T>& staging) {
   const index_t n = v.rows;
-  staging.resize(static_cast<std::size_t>(n * (n + 1) / 2));
+  staging.resize(PackedLower<T>::packed_words(n));
   std::size_t k = 0;
   for (index_t i = 0; i < n; ++i) {
     for (index_t j = 0; j <= i; ++j) staging[k++] = v(i, j);
@@ -83,7 +84,7 @@ template <typename T>
 void recv_add_packed_lower(mpisim::RankCtx& ctx, int source, int tag, MatrixView<T> dst) {
   const index_t n = dst.rows;
   const std::vector<T> data = ctx.recv<T>(source, tag);
-  if (data.size() != static_cast<std::size_t>(n * (n + 1) / 2)) {
+  if (data.size() != PackedLower<T>::packed_words(n)) {
     throw std::logic_error("dist protocol error: packed payload size mismatch");
   }
   std::size_t k = 0;

@@ -12,6 +12,7 @@
 
 #include <mutex>
 
+#include "common/thread_annotations.hpp"
 #include "runtime/executor.hpp"
 
 namespace atalib::dist {
@@ -32,7 +33,9 @@ class RankPoolLease {
   runtime::Executor& executor();
 
  private:
-  std::unique_lock<std::mutex> lock_;
+  /// Holds the rank-pool mutex (an annotated atalib::Mutex) for the lease's
+  /// lifetime; see rank_pool.cpp for the analysis-escape rationale.
+  std::unique_lock<Mutex> lock_;
 };
 
 }  // namespace atalib::dist

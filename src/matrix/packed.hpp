@@ -18,10 +18,22 @@ template <typename T>
 class PackedLower {
  public:
   PackedLower() = default;
-  explicit PackedLower(index_t n) : n_(n), data_(static_cast<std::size_t>(packed_size(n))) {}
+  explicit PackedLower(index_t n) : n_(n), data_(packed_words(n)) {}
 
-  /// Number of stored words for dimension n.
-  static index_t packed_size(index_t n) { return n * (n + 1) / 2; }
+  /// Number of stored words for dimension n. Computed in std::size_t: the
+  /// n^2-order product overflows a 32-bit index_t build for n >= 2^16, and
+  /// UBSan flags the signed form long before that matters in practice.
+  static std::size_t packed_words(index_t n) {
+    const std::size_t un = static_cast<std::size_t>(n);
+    return un * (un + 1) / 2;
+  }
+  static index_t packed_size(index_t n) { return static_cast<index_t>(packed_words(n)); }
+
+  /// Packed row-major offset of (i, j), j <= i, in std::size_t arithmetic.
+  static std::size_t packed_offset(index_t i, index_t j) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    return ui * (ui + 1) / 2 + static_cast<std::size_t>(j);
+  }
 
   index_t dim() const { return n_; }
   index_t size() const { return static_cast<index_t>(data_.size()); }
@@ -30,20 +42,20 @@ class PackedLower {
 
   T& at(index_t i, index_t j) {
     assert(j <= i && i < n_);
-    return data_[static_cast<std::size_t>(i * (i + 1) / 2 + j)];
+    return data_[packed_offset(i, j)];
   }
   const T& at(index_t i, index_t j) const {
     assert(j <= i && i < n_);
-    return data_[static_cast<std::size_t>(i * (i + 1) / 2 + j)];
+    return data_[packed_offset(i, j)];
   }
 
   /// Pack the lower triangle of `src` (n x n view).
   static PackedLower pack(ConstMatrixView<T> src) {
     assert(src.rows == src.cols);
     PackedLower p(src.rows);
-    index_t k = 0;
+    std::size_t k = 0;
     for (index_t i = 0; i < src.rows; ++i)
-      for (index_t j = 0; j <= i; ++j) p.data_[static_cast<std::size_t>(k++)] = src(i, j);
+      for (index_t j = 0; j <= i; ++j) p.data_[k++] = src(i, j);
     return p;
   }
 
@@ -51,17 +63,17 @@ class PackedLower {
   /// upper triangle of `dst` is left untouched.
   void unpack_into(MatrixView<T> dst) const {
     assert(dst.rows == n_ && dst.cols == n_);
-    index_t k = 0;
+    std::size_t k = 0;
     for (index_t i = 0; i < n_; ++i)
-      for (index_t j = 0; j <= i; ++j) dst(i, j) = data_[static_cast<std::size_t>(k++)];
+      for (index_t j = 0; j <= i; ++j) dst(i, j) = data_[k++];
   }
 
   /// Accumulate the packed triangle into the lower triangle of `dst`.
   void add_into(MatrixView<T> dst) const {
     assert(dst.rows == n_ && dst.cols == n_);
-    index_t k = 0;
+    std::size_t k = 0;
     for (index_t i = 0; i < n_; ++i)
-      for (index_t j = 0; j <= i; ++j) dst(i, j) += data_[static_cast<std::size_t>(k++)];
+      for (index_t j = 0; j <= i; ++j) dst(i, j) += data_[k++];
   }
 
  private:

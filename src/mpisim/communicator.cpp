@@ -9,14 +9,14 @@ namespace atalib::mpisim {
 
 void Mailbox::push(Message msg) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(msg));
   }
   cv_.notify_all();
 }
 
 Message Mailbox::pop_match(int source, int tag) {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   for (;;) {
     if (poisoned_) throw AbortedError{};
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
@@ -32,7 +32,7 @@ Message Mailbox::pop_match(int source, int tag) {
 
 void Mailbox::poison() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     poisoned_ = true;
   }
   cv_.notify_all();
@@ -65,21 +65,21 @@ namespace {
 /// secondary AbortedErrors its failure triggers in peers (the abort races
 /// the original store, so preference — not order — decides).
 struct FirstError {
-  std::mutex mu;
-  std::exception_ptr error;
-  bool aborted = false;
+  Mutex mu;
+  std::exception_ptr error ATALIB_GUARDED_BY(mu);
+  bool aborted ATALIB_GUARDED_BY(mu) = false;
 
   void capture() {
     try {
       throw;
     } catch (const AbortedError&) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (!error) {
         error = std::current_exception();
         aborted = true;
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (!error || aborted) {
         error = std::current_exception();
         aborted = false;
@@ -87,8 +87,15 @@ struct FirstError {
     }
   }
 
+  /// Called after every rank joined; the lock is uncontended and keeps the
+  /// guarded read visible to the thread-safety analysis.
   void rethrow_if_set() {
-    if (error) std::rethrow_exception(error);
+    std::exception_ptr err;
+    {
+      MutexLock lock(mu);
+      err = error;
+    }
+    if (err) std::rethrow_exception(err);
   }
 };
 

@@ -16,10 +16,10 @@
 #include <cstring>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <stdexcept>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "mpisim/stats.hpp"
 #include "runtime/executor.hpp"
 
@@ -51,10 +51,10 @@ class Mailbox {
   void poison();
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
-  bool poisoned_ = false;
+  Mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<Message> queue_ ATALIB_GUARDED_BY(mu_);
+  bool poisoned_ ATALIB_GUARDED_BY(mu_) = false;
 };
 
 class Communicator;

@@ -28,7 +28,7 @@ const char* ForkJoinExecutor::name() const {
 
 void ForkJoinExecutor::run(int ntasks, const TaskFn& fn, int width) {
   if (ntasks <= 0) return;
-  std::lock_guard<std::mutex> run_lk(run_mu_);
+  MutexLock run_lk(run_mu_);
   // The oversubscription clamp: never more threads than tasks, slots, or
   // the caller's width (the seed's `num_threads(ntasks)` spawned one
   // thread per task regardless of either).
@@ -54,7 +54,7 @@ void ForkJoinExecutor::run(int ntasks, const TaskFn& fn, int width) {
 }
 
 void ForkJoinExecutor::warm_workspaces(std::size_t float_elems, std::size_t double_elems) {
-  std::lock_guard<std::mutex> run_lk(run_mu_);
+  MutexLock run_lk(run_mu_);
   for (auto& slot : slots_) slot->warm(float_elems, double_elems);
 }
 

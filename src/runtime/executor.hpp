@@ -21,9 +21,9 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "runtime/workspace.hpp"
 
 namespace atalib::runtime {
@@ -117,7 +117,11 @@ class ForkJoinExecutor final : public Executor {
   Workspace& workspace(int slot) { return *slots_[static_cast<std::size_t>(slot)]; }
 
  private:
-  std::mutex run_mu_;  // serializes independent client threads
+  /// Serializes independent client threads: two concurrent run() calls
+  /// would share slot workspaces. Nothing is guarded by it — the slots are
+  /// read without it by workspace() introspection — it is purely an
+  /// execution-exclusion capability.
+  Mutex run_mu_;
   std::vector<std::unique_ptr<Workspace>> slots_;
 };
 

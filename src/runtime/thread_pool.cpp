@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/checked.hpp"
+
 #if defined(__linux__)
 #include <pthread.h>
 #include <sched.h>
@@ -75,7 +77,7 @@ ThreadPool::ThreadPool(int threads) : topo_(probe_numa_topology()) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -115,9 +117,9 @@ void ThreadPool::pin_to_node(int slot) {
 void ThreadPool::worker_main(int slot) {
   pin_to_node(slot);
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lk(mu_);
+  UniqueLock lk(mu_);
   while (true) {
-    work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    while (!stop_ && generation_ == seen) work_cv_.wait(lk);
     if (stop_) return;
     seen = generation_;
     if (slot_warm_seen_[static_cast<std::size_t>(slot)] != warm_epoch_) {
@@ -125,6 +127,15 @@ void ThreadPool::worker_main(int slot) {
       // the slab pages are first-touched on the worker's node, then report
       // in. Admissions are queued behind the warm, so no task can race the
       // growth.
+#if ATALIB_CHECKED
+      // §5 ordering, machine-checked: workers only grow inside a quiesced
+      // warm window — a batch in flight here means slot slabs could be
+      // reallocated under a running task.
+      if (active_batches_ != 0) {
+        checked_abort("§5 warm-path ordering violated",
+                      "worker-side warm growth with a batch in flight");
+      }
+#endif
       slot_warm_seen_[static_cast<std::size_t>(slot)] = warm_epoch_;
       const std::size_t f = warm_float_target_;
       const std::size_t d = warm_double_target_;
@@ -164,7 +175,7 @@ void ThreadPool::drain_for(int slot, const Batch& batch) {
 
 bool ThreadPool::try_pop(int slot, Item& item) {
   Queue& q = *queues_[static_cast<std::size_t>(slot)];
-  std::lock_guard<std::mutex> lk(q.mu);
+  MutexLock lk(q.mu);
   if (q.tasks.empty()) return false;
   item = std::move(q.tasks.front());
   q.tasks.pop_front();
@@ -173,7 +184,7 @@ bool ThreadPool::try_pop(int slot, Item& item) {
 
 bool ThreadPool::try_steal_from(int thief, int victim, Item& item) {
   Queue& q = *queues_[static_cast<std::size_t>(victim)];
-  std::lock_guard<std::mutex> lk(q.mu);
+  MutexLock lk(q.mu);
   if (q.tasks.empty()) return false;
   // Steal from the cold end: the victim pops its own front, so the two
   // ends never contend on the same task under load.
@@ -229,7 +240,7 @@ void ThreadPool::execute(int slot, Item item) {
   try {
     batch.fn(item.task, ctx);
   } catch (...) {
-    std::lock_guard<std::mutex> lk(batch.err_mu);
+    MutexLock lk(batch.err_mu);
     if (!batch.first_error) batch.first_error = std::current_exception();
   }
   --tl_task_depth;
@@ -238,14 +249,20 @@ void ThreadPool::execute(int slot, Item item) {
     // promise so a warm waiting for quiescence and a client waking on the
     // future observe a consistent order.
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       --active_batches_;
       if (active_batches_ == 0 && warm_waiters_ > 0) quiesce_cv_.notify_all();
     }
     // No task of this batch is running anymore (the acq_rel countdown
-    // orders their error writes before this read).
-    if (batch.first_error) {
-      batch.done.set_exception(batch.first_error);
+    // orders their error writes before this read; err_mu is uncontended
+    // here and keeps the guarded access visible to the analysis).
+    std::exception_ptr err;
+    {
+      MutexLock lk(batch.err_mu);
+      err = batch.first_error;
+    }
+    if (err) {
+      batch.done.set_exception(err);
     } else {
       batch.done.set_value();
     }
@@ -259,8 +276,8 @@ std::shared_ptr<ThreadPool::Batch> ThreadPool::enqueue(int ntasks, TaskFn fn, in
     // Register before any queue push: a pending warm must either see this
     // batch as active or admit it only after the warm finished — never
     // mutate slot workspaces while our tasks are poppable.
-    std::unique_lock<std::mutex> lk(mu_);
-    quiesce_cv_.wait(lk, [&] { return warm_waiters_ == 0; });
+    UniqueLock lk(mu_);
+    while (warm_waiters_ != 0) quiesce_cv_.wait(lk);
     ++active_batches_;
   }
   const int nnodes = topo_.num_nodes();
@@ -273,7 +290,7 @@ std::shared_ptr<ThreadPool::Batch> ThreadPool::enqueue(int ntasks, TaskFn fn, in
       const int hi = static_cast<int>(static_cast<long long>(ntasks) * (s + 1) / dist_slots);
       if (hi == lo) continue;
       Queue& q = *queues_[static_cast<std::size_t>(s)];
-      std::lock_guard<std::mutex> qlk(q.mu);
+      MutexLock qlk(q.mu);
       for (int t = lo; t < hi; ++t) q.tasks.push_back(Item{batch, t});
       scheduled_per_node_[static_cast<std::size_t>(node_of_slot(s))].fetch_add(
           static_cast<std::uint64_t>(hi - lo), std::memory_order_relaxed);
@@ -310,14 +327,14 @@ std::shared_ptr<ThreadPool::Batch> ThreadPool::enqueue(int ntasks, TaskFn fn, in
       const auto& tasks = bucket[static_cast<std::size_t>(s)];
       if (tasks.empty()) continue;
       Queue& q = *queues_[static_cast<std::size_t>(s)];
-      std::lock_guard<std::mutex> qlk(q.mu);
+      MutexLock qlk(q.mu);
       for (int t : tasks) q.tasks.push_back(Item{batch, t});
       scheduled_per_node_[static_cast<std::size_t>(node_of_slot(s))].fetch_add(
           tasks.size(), std::memory_order_relaxed);
     }
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++generation_;
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
@@ -421,9 +438,9 @@ void ThreadPool::warm_workspaces(std::size_t float_elems, std::size_t double_ele
     // so growth must happen on the owning worker's thread, not here. The
     // caller slot has no worker; this thread grows it (run() callers drain
     // that slot themselves, so its pages belong on the client's node).
-    std::unique_lock<std::mutex> lk(mu_);
+    UniqueLock lk(mu_);
     ++warm_waiters_;
-    quiesce_cv_.wait(lk, [&] { return active_batches_ == 0 && !warm_growing_; });
+    while (active_batches_ != 0 || warm_growing_) quiesce_cv_.wait(lk);
     const std::size_t tf = std::max(float_elems, warmed_float_.load(std::memory_order_relaxed));
     const std::size_t td =
         std::max(double_elems, warmed_double_.load(std::memory_order_relaxed));
@@ -439,7 +456,7 @@ void ThreadPool::warm_workspaces(std::size_t float_elems, std::size_t double_ele
     work_cv_.notify_all();
     workspaces_[static_cast<std::size_t>(caller_slot)]->warm_first_touch(tf, td);
     lk.lock();
-    quiesce_cv_.wait(lk, [&] { return warm_pending_ == 0; });
+    while (warm_pending_ != 0) quiesce_cv_.wait(lk);
     if (tf > warmed_float_.load(std::memory_order_relaxed)) {
       warmed_float_.store(tf, std::memory_order_release);
     }

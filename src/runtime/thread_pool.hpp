@@ -74,11 +74,11 @@
 #include <exception>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/cacheinfo.hpp"
+#include "common/thread_annotations.hpp"
 #include "metrics/numa_stats.hpp"
 #include "runtime/executor.hpp"
 
@@ -192,8 +192,8 @@ class ThreadPool final : public Executor {
     Batch(int ntasks, TaskFn body) : fn(std::move(body)), remaining(ntasks) {}
     TaskFn fn;
     std::atomic<int> remaining;
-    std::mutex err_mu;  // serializes concurrent failing tasks
-    std::exception_ptr first_error;
+    Mutex err_mu;  // serializes concurrent failing tasks
+    std::exception_ptr first_error ATALIB_GUARDED_BY(err_mu);
     std::promise<void> done;
   };
 
@@ -205,8 +205,8 @@ class ThreadPool final : public Executor {
   };
 
   struct Queue {
-    std::mutex mu;
-    std::deque<Item> tasks;
+    Mutex mu;
+    std::deque<Item> tasks ATALIB_GUARDED_BY(mu);
   };
 
   /// Admit a batch: register it (queuing behind any waiting warm),
@@ -235,25 +235,29 @@ class ThreadPool final : public Executor {
   std::vector<std::unique_ptr<Workspace>> workspaces_;  // parallel to queues_
   std::vector<std::thread> threads_;                    // the W workers
 
-  std::mutex mu_;  // guards generation_/stop_/active_batches_/warm_* state
-  std::condition_variable work_cv_;     // workers park here between batches
-  std::condition_variable quiesce_cv_;  // warms wait for 0 batches; admissions wait for 0 warms
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
-  int active_batches_ = 0;  // admitted, not yet completed
-  int warm_waiters_ = 0;    // warms waiting for (or holding) quiescence
+  /// Guards generation_/stop_/active_batches_/warm_* state. The
+  /// condition variables are condition_variable_any so they wait on the
+  /// capability-annotated UniqueLock (common/thread_annotations.hpp).
+  Mutex mu_;
+  std::condition_variable_any work_cv_;     // workers park here between batches
+  std::condition_variable_any quiesce_cv_;  // warms wait for 0 batches; admissions wait for 0 warms
+  std::uint64_t generation_ ATALIB_GUARDED_BY(mu_) = 0;
+  bool stop_ ATALIB_GUARDED_BY(mu_) = false;
+  int active_batches_ ATALIB_GUARDED_BY(mu_) = 0;  // admitted, not yet completed
+  int warm_waiters_ ATALIB_GUARDED_BY(mu_) = 0;  // warms waiting for (or holding) quiescence
 
   /// Worker-side warm growth (first touch): a growing warm publishes the
   /// targets and a fresh epoch under mu_, wakes every worker, and waits for
   /// warm_pending_ to hit zero; each worker grows its *own* slot exactly
   /// once per epoch (slot_warm_seen_). warm_growing_ serializes concurrent
   /// growing warms.
-  bool warm_growing_ = false;
-  std::uint64_t warm_epoch_ = 0;
-  int warm_pending_ = 0;
-  std::size_t warm_float_target_ = 0;
-  std::size_t warm_double_target_ = 0;
-  std::vector<std::uint64_t> slot_warm_seen_;  // last epoch each slot grew for
+  bool warm_growing_ ATALIB_GUARDED_BY(mu_) = false;
+  std::uint64_t warm_epoch_ ATALIB_GUARDED_BY(mu_) = 0;
+  int warm_pending_ ATALIB_GUARDED_BY(mu_) = 0;
+  std::size_t warm_float_target_ ATALIB_GUARDED_BY(mu_) = 0;
+  std::size_t warm_double_target_ ATALIB_GUARDED_BY(mu_) = 0;
+  /// Last epoch each slot grew for.
+  std::vector<std::uint64_t> slot_warm_seen_ ATALIB_GUARDED_BY(mu_);
 
   /// High-water marks warm_workspaces() has grown every slot to; requests
   /// at or below them skip the quiescence path entirely.

@@ -174,7 +174,7 @@ index_t Tuner::base_case_elements(std::size_t elem_bytes) {
 
   const std::string key = elem_bytes == sizeof(float) ? tuning_key<float>()
                                                       : tuning_key<double>();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = memo_.find(key);
   if (it != memo_.end()) return it->second;
 
@@ -207,7 +207,7 @@ index_t Tuner::tall_skinny_ratio(std::size_t elem_bytes) {
   const std::string key = (elem_bytes == sizeof(float) ? tuning_key<float>()
                                                        : tuning_key<double>()) +
                           "-ts";
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = memo_.find(key);
   if (it != memo_.end()) return it->second;
 

@@ -16,10 +16,10 @@
 
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 
+#include "common/thread_annotations.hpp"
 #include "matrix/view.hpp"
 
 namespace atalib::strassen {
@@ -52,13 +52,16 @@ class Tuner {
   static Tuner& global();
 
  private:
-  index_t load_cached(const std::string& key) const;
-  void store(const std::string& key, index_t value) const;
+  index_t load_cached(const std::string& key) const ATALIB_REQUIRES(mu_);
+  void store(const std::string& key, index_t value) const ATALIB_REQUIRES(mu_);
   index_t measure(std::size_t elem_bytes) const;
 
-  std::mutex mu_;
-  std::string cache_path_;
-  std::map<std::string, index_t> memo_;
+  /// Guards the memo map and the cache file (load_cached/store read and
+  /// rewrite it, and concurrent measurements for the same key must not
+  /// interleave their writes).
+  mutable Mutex mu_;
+  std::string cache_path_;  ///< immutable after construction
+  std::map<std::string, index_t> memo_ ATALIB_GUARDED_BY(mu_);
 };
 
 }  // namespace atalib::strassen

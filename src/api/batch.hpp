@@ -34,6 +34,14 @@ struct AtaRequest {
   T alpha = T(1);
   ConstMatrixView<T> a;
   MatrixView<T> c;
+  /// Per-request QoS (api::Server; DESIGN.md §10). The batch's pool
+  /// priority is the max over its requests and the SharedOptions priority;
+  /// within the batch, higher-priority requests' tasks are ordered first.
+  int priority = 0;
+  /// Absolute steady-clock deadline; effective deadline is the min of this
+  /// and SharedOptions::deadline. Expired requests settle with
+  /// DeadlineExceeded without running their leaf GEMMs.
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
 };
 
 /// The fused execution shape of one batch: the distinct plans it touches

@@ -1,0 +1,44 @@
+#pragma once
+// Serving-layer error taxonomy (DESIGN.md §10).
+//
+// The overload-control contract is that every admitted request's future is
+// settled with exactly one of: a value, the task's own exception, or one of
+// the typed errors below — and that a request REJECTED at the admission
+// gate throws before any promise exists, so the client can tell "the
+// server refused to take this" (retry elsewhere / back off) apart from
+// "the server took it and it failed" (the work is gone). All three derive
+// from std::runtime_error so existing catch-alls keep working.
+
+#include <stdexcept>
+#include <string>
+
+namespace atalib::api {
+
+/// Thrown synchronously by submit()/submit_batch() when the admission gate
+/// is full under AdmissionPolicy::kReject (or when the request can never
+/// fit: more requests than max_inflight_requests, or a zero-capacity
+/// queue). Thrown before any promise, plan lookup, or task exists — the
+/// reject path is exception-clean and allocation-free.
+class OverloadError : public std::runtime_error {
+ public:
+  explicit OverloadError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Settled onto a request's future when its deadline passed before its
+/// tasks executed (at submit time, in the queue, or when a shed-oldest
+/// admission reclaimed it). The request's leaf GEMMs never ran; its output
+/// buffer is untouched by any task that observed the expiry.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Settled onto every in-flight future by Server::~Server, and thrown by
+/// submissions that race destruction: teardown under load is a defined
+/// path, never a hang or an abandoned promise.
+class ServerShutdown : public std::runtime_error {
+ public:
+  explicit ServerShutdown(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace atalib::api

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -13,40 +15,211 @@
 
 namespace atalib::api {
 
-Server::Server(const Options& opts) : cache_(opts.plan_capacity), pool_(opts.threads) {}
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::int64_t ns_of(SteadyClock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(tp.time_since_epoch())
+      .count();
+}
+
+std::uint64_t elapsed_ns(SteadyClock::time_point from, SteadyClock::time_point to) {
+  return to <= from
+             ? 0
+             : static_cast<std::uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+                       .count());
+}
+
+}  // namespace
+
+Server::Server(const Options& opts)
+    : cache_(opts.plan_capacity, opts.plan_shards),
+      max_inflight_(opts.max_inflight_requests),
+      max_batches_(opts.max_queued_batches),
+      policy_(opts.admission),
+      faults_(fault::Plan::from_env()),
+      pool_(opts.threads) {}
+
+Server::~Server() {
+  UniqueLock lk(gate_mu_);
+  shutting_down_ = true;
+  // Abort everything still unsettled: tasks that have not computed yet see
+  // `cancelled` and skip; clients get ServerShutdown instead of a hang.
+  for (auto& t : ledger_) {
+    bool expected = false;
+    if (!t->settled.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      continue;
+    }
+    t->cancelled.store(true, std::memory_order_release);
+    t->promise.set_exception(std::make_exception_ptr(
+        ServerShutdown("atalib: Server destroyed with the request in flight")));
+    --inflight_requests_;
+  }
+  ledger_.clear();
+  gate_cv_.notify_all();
+  // Wait for every admitted batch to retire and every blocked admitter to
+  // wake (and throw ServerShutdown) before the members destruct: after
+  // this loop no pool task touches server state, and ~pool_ (declared
+  // last, destructed first) joins the workers before the gate itself goes.
+  while (queued_batches_ != 0 || gate_waiters_ != 0) gate_cv_.wait(lk);
+}
+
+Server::Clock::time_point Server::admit(std::size_t nreq) {
+  const auto t0 = Clock::now();
+  if (runtime::ThreadPool::current_thread_in_task()) {
+    // Re-entrant submissions execute inline in the pool (never queued);
+    // blocking the worker on its own server's gate would deadlock, so they
+    // bypass the bounds and only respect shutdown.
+    MutexLock lk(gate_mu_);
+    if (shutting_down_) {
+      throw ServerShutdown("Server::submit: server is shutting down");
+    }
+    inflight_requests_ += nreq;
+    ++queued_batches_;
+    return t0;
+  }
+  if (nreq > max_inflight_ || max_batches_ == 0) {
+    // Can never fit, under any policy: blocking would deadlock.
+    rejected_.fetch_add(nreq, std::memory_order_relaxed);
+    throw OverloadError(
+        "Server::submit: request batch can never satisfy the admission bounds "
+        "(batch of " +
+        std::to_string(nreq) + ", max_inflight_requests " +
+        std::to_string(max_inflight_) + ", max_queued_batches " +
+        std::to_string(max_batches_) + ")");
+  }
+  UniqueLock lk(gate_mu_);
+  for (;;) {
+    if (shutting_down_) {
+      throw ServerShutdown("Server::submit: server is shutting down");
+    }
+    std::size_t phantom = 0;
+    if constexpr (fault::kEnabled) {
+      if (faults_) phantom = faults_->queue_pressure();
+    }
+    const bool req_ok = max_inflight_ == kUnlimited ||
+                        inflight_requests_ + phantom + nreq <= max_inflight_;
+    const bool batch_ok = max_batches_ == kUnlimited || queued_batches_ < max_batches_;
+    if (req_ok && batch_ok) break;
+    if (policy_ == AdmissionPolicy::kShedOldest && shed_expired(Clock::now()) > 0) {
+      continue;  // re-evaluate with the freed capacity
+    }
+    if (policy_ == AdmissionPolicy::kBlock) {
+      ++gate_waiters_;
+      gate_cv_.wait(lk);
+      --gate_waiters_;
+      if (shutting_down_) gate_cv_.notify_all();  // let ~Server see the drain
+      continue;
+    }
+    rejected_.fetch_add(nreq, std::memory_order_relaxed);
+    throw OverloadError(
+        "Server::submit: admission gate full (" + std::to_string(inflight_requests_) +
+        " in flight of " + std::to_string(max_inflight_) + ", " +
+        std::to_string(queued_batches_) + " batches of " + std::to_string(max_batches_) +
+        ")");
+  }
+  inflight_requests_ += nreq;
+  ++queued_batches_;
+  return t0;
+}
+
+void Server::unadmit(std::size_t nreq) {
+  MutexLock lk(gate_mu_);
+  inflight_requests_ -= nreq;
+  --queued_batches_;
+  gate_cv_.notify_all();
+}
+
+std::size_t Server::shed_expired(Clock::time_point now) {
+  std::size_t freed = 0;
+  for (auto& t : ledger_) {
+    if (t->settled.load(std::memory_order_relaxed)) continue;
+    if (now < t->deadline) continue;
+    bool expected = false;
+    if (!t->settled.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      continue;
+    }
+    t->cancelled.store(true, std::memory_order_release);
+    t->promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+        "atalib: request shed under kShedOldest after its deadline expired")));
+    --inflight_requests_;
+    ++freed;
+  }
+  while (!ledger_.empty() && ledger_.front()->settled.load(std::memory_order_relaxed)) {
+    ledger_.pop_front();
+  }
+  if (freed > 0) {
+    shed_.fetch_add(freed, std::memory_order_relaxed);
+    deadline_expired_.fetch_add(freed, std::memory_order_relaxed);
+  }
+  return freed;
+}
+
+bool Server::claim_and_release(Ticket& t) {
+  bool expected = false;
+  if (!t.settled.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+    return false;
+  }
+  MutexLock lk(gate_mu_);
+  --inflight_requests_;
+  while (!ledger_.empty() && ledger_.front()->settled.load(std::memory_order_relaxed)) {
+    ledger_.pop_front();
+  }
+  gate_cv_.notify_all();
+  return true;
+}
+
+void Server::on_batch_retired() {
+  // The LAST server-state touch any task of a batch performs; ~Server
+  // waits for queued_batches_ == 0, so everything a task does happens
+  // before the members destruct.
+  MutexLock lk(gate_mu_);
+  --queued_batches_;
+  gate_cv_.notify_all();
+}
+
+metrics::ServerStats Server::stats() const {
+  metrics::ServerStats s;
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  {
+    MutexLock lk(gate_mu_);
+    s.inflight_requests = inflight_requests_;
+    s.queued_batches = queued_batches_;
+  }
+  s.pool_queue_depth = pool_.queue_depth();
+  s.admission_wait = metrics::summarize(admission_wait_);
+  s.queue_wait = metrics::summarize(queue_wait_);
+  s.compute = metrics::summarize(compute_);
+  return s;
+}
 
 template <typename T>
 std::future<void> Server::submit(T alpha, ConstMatrixView<T> a, MatrixView<T> c,
                                  SharedOptions opts) {
-  opts.executor = nullptr;  // requests always execute on the server's pool
-  validate(opts);
-  // Reject a mismatched C before touching the cache: the check needs no
-  // plan, and a rejected request must not pay a schedule build or insert
-  // an entry that could evict a plan warm traffic is using.
+  // Reject a mismatched C before touching the gate or the cache: the check
+  // needs no plan, and a rejected request must not pay a schedule build or
+  // insert an entry that could evict a plan warm traffic is using.
   if (c.rows != a.cols || c.cols != a.cols) {
     throw std::invalid_argument("Server::submit: C must be n x n = " +
                                 std::to_string(a.cols) + "^2, got " + std::to_string(c.rows) +
                                 "x" + std::to_string(c.cols));
   }
-  std::shared_ptr<const AtaPlan> plan =
-      cache_.get_or_build(shared_plan_key(dtype_of<T>(), a.rows, a.cols, opts));
-  check_shared(*plan, a, c);
-  warm_for(*plan, pool_);
-  const int ntasks = static_cast<int>(plan->schedule().tasks.size());
-  // The batch owns the plan (an eviction must not pull the schedule out
-  // from under in-flight tasks) and captures the views by value; the
-  // caller's buffers must outlive the future per the submit() contract.
-  auto body = [plan, alpha, a, c](int t, runtime::TaskContext& ctx) {
-    run_plan_task(*plan, t, alpha, a, c, ctx);
-  };
-  const int nnodes = pool_.numa_nodes();
-  if (nnodes > 1) {
-    // Home each write-disjoint C stripe on a node round-robin so its pages
-    // and packed panels stay node-local (AtaPlan::preferred_node).
-    return pool_.submit(ntasks, std::move(body),
-                        [plan, nnodes](int t) { return plan->preferred_node(t, nnodes); });
-  }
-  return pool_.submit(ntasks, std::move(body));
+  // One request is a batch of one: a single machinery gives submit() the
+  // same admission, deadline, settle-once, and teardown guarantees.
+  AtaRequest<T> req;
+  req.alpha = alpha;
+  req.a = a;
+  req.c = c;
+  req.priority = opts.priority;
+  req.deadline = opts.deadline;
+  auto futures = submit_batch<T>(std::span<const AtaRequest<T>>(&req, 1), std::move(opts));
+  return std::move(futures.front());
 }
 
 template <typename T>
@@ -85,7 +258,7 @@ template <typename T>
 struct BatchState {
   BatchPlan batch;
   std::vector<AtaRequest<T>> requests;
-  std::vector<std::promise<void>> promises;
+  std::vector<std::shared_ptr<detail::RequestTicket>> tickets;
   std::vector<BatchUnit> units;
   std::vector<BatchChunk> chunks;
   // Atomics are not movable, so the per-request arrays live behind
@@ -93,6 +266,12 @@ struct BatchState {
   std::unique_ptr<std::atomic<int>[]> remaining;
   std::unique_ptr<std::atomic<bool>[]> failed;
   std::vector<std::exception_ptr> errors;
+  /// Chunks not yet finished; the task taking it to zero retires the
+  /// batch at the server's gate.
+  std::atomic<int> chunks_remaining{0};
+  /// The server's fault plan, shared so injection hooks stay valid even
+  /// while the server tears down.
+  std::shared_ptr<const fault::Plan> faults;
 };
 
 }  // namespace
@@ -103,16 +282,30 @@ std::vector<std::future<void>> Server::submit_batch(std::span<const AtaRequest<T
   opts.executor = nullptr;  // requests always execute on the server's pool
   validate(opts);
   if (requests.empty()) return {};
+  const std::size_t nreq = requests.size();
+
+  // The admission gate comes FIRST: a rejected submission throws before
+  // any promise, plan lookup, or ticket exists.
+  const Clock::time_point t0 = admit(nreq);
 
   auto state = std::make_shared<BatchState<T>>();
-  // Throws std::invalid_argument on any bad request, before any promise
-  // exists or any task is enqueued: a rejected batch is all-or-nothing.
-  state->batch = build_batch_plan<T>(cache_, requests, opts);
+  try {
+    // Throws std::invalid_argument on any bad request, before any promise
+    // exists or any task is enqueued: a rejected batch is all-or-nothing.
+    state->batch = build_batch_plan<T>(cache_, requests, opts);
+  } catch (...) {
+    unadmit(nreq);
+    throw;
+  }
   state->requests.assign(requests.begin(), requests.end());
+  state->faults = faults_;
+  admitted_.fetch_add(nreq, std::memory_order_relaxed);
 
-  const std::size_t nreq = requests.size();
+  const Clock::time_point admitted_at = Clock::now();
+  const std::uint64_t adm_ns = elapsed_ns(t0, admitted_at);
+
   const int total = state->batch.total_tasks();
-  state->promises.resize(nreq);
+  state->tickets.reserve(nreq);
   state->units.reserve(static_cast<std::size_t>(total));
   state->remaining = std::make_unique<std::atomic<int>[]>(nreq);
   state->failed = std::make_unique<std::atomic<bool>[]>(nreq);
@@ -121,13 +314,53 @@ std::vector<std::future<void>> Server::submit_batch(std::span<const AtaRequest<T
   std::vector<std::future<void>> futures;
   futures.reserve(nreq);
   for (std::size_t r = 0; r < nreq; ++r) {
+    auto ticket = std::make_shared<Ticket>();
+    ticket->deadline = std::min(opts.deadline, requests[r].deadline);
+    ticket->admitted_at = admitted_at;
+    futures.push_back(ticket->promise.get_future());
+    state->tickets.push_back(std::move(ticket));
     const int ntasks = state->batch.task_offset[r + 1] - state->batch.task_offset[r];
     state->remaining[r].store(ntasks, std::memory_order_relaxed);
     state->failed[r].store(false, std::memory_order_relaxed);
-    for (int local = 0; local < ntasks; ++local) {
-      state->units.push_back({static_cast<int>(r), local});
+    admission_wait_.record(adm_ns);
+  }
+  {
+    MutexLock lk(gate_mu_);
+    for (const auto& t : state->tickets) ledger_.push_back(t);
+  }
+  // A deadline already expired at submit settles right here: its tasks are
+  // still enqueued (keeping the batch layout uniform) but become no-ops.
+  for (std::size_t r = 0; r < nreq; ++r) {
+    Ticket& ticket = *state->tickets[r];
+    if (admitted_at < ticket.deadline) continue;
+    ticket.cancelled.store(true, std::memory_order_release);
+    if (claim_and_release(ticket)) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      ticket.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+          "atalib: request deadline already expired at submit")));
     }
-    futures.push_back(state->promises[r].get_future());
+  }
+
+  // Order units so higher-priority requests' tasks sit ahead of lower ones
+  // in the flat index space (stable: FIFO within a priority class). The
+  // batch's pool priority is the max over its requests, so a mixed batch
+  // competes at its most urgent class.
+  std::vector<int> order(nreq);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&requests](int x, int y) {
+    return requests[static_cast<std::size_t>(x)].priority >
+           requests[static_cast<std::size_t>(y)].priority;
+  });
+  int batch_priority = opts.priority;
+  for (std::size_t r = 0; r < nreq; ++r) {
+    batch_priority = std::max(batch_priority, requests[r].priority);
+  }
+  for (int r : order) {
+    const auto rr = static_cast<std::size_t>(r);
+    const int ntasks = state->batch.task_offset[rr + 1] - state->batch.task_offset[rr];
+    for (int local = 0; local < ntasks; ++local) {
+      state->units.push_back({r, local});
+    }
   }
 
   // Chunk the unit list into pool tasks. Serial (single-task) requests
@@ -159,6 +392,8 @@ std::vector<std::future<void>> Server::submit_batch(std::span<const AtaRequest<T
     state->chunks.push_back({u, len});
     u += len;
   }
+  state->chunks_remaining.store(static_cast<int>(state->chunks.size()),
+                                std::memory_order_relaxed);
 
   // One warm call for the whole batch: the pool's high-water mark covers
   // the largest plan, so every task's arena request is satisfied from the
@@ -169,48 +404,89 @@ std::vector<std::future<void>> Server::submit_batch(std::span<const AtaRequest<T
     pool_.warm_workspaces(0, state->batch.workspace_bound);
   }
 
-  // Per-request completion: the unit that takes `remaining` to zero
-  // settles that request's promise. The first failing unit of a request
-  // claims the error slot (CAS), writes the exception_ptr, and the
-  // acq_rel decrement chain publishes it to whichever unit settles —
-  // so a failure surfaces on its own request's future and never on the
+  // Per-request completion: the unit that takes `remaining` to zero wins
+  // the ticket's settle CAS (unless a shed / deadline / shutdown settled
+  // it first, in which case the work was skipped). The first failing unit
+  // of a request claims the error slot (CAS), writes the exception_ptr,
+  // and the acq_rel decrement chain publishes it to whichever unit settles
+  // — so a failure surfaces on its own request's future and never on the
   // (discarded) pool-level batch future or on a sibling request.
-  auto body = [state](int t, runtime::TaskContext& ctx) {
+  Server* const server = this;
+  auto body = [state, server](int t, runtime::TaskContext& ctx) {
     const BatchChunk chunk = state->chunks[static_cast<std::size_t>(t)];
     for (int u = chunk.first_unit; u < chunk.first_unit + chunk.nunits; ++u) {
       const BatchUnit unit = state->units[static_cast<std::size_t>(u)];
       const int req = unit.req;
+      Ticket& ticket = *state->tickets[static_cast<std::size_t>(req)];
       const AtaRequest<T>& r = state->requests[static_cast<std::size_t>(req)];
       const AtaPlan& plan =
           *state->batch.plans[static_cast<std::size_t>(
               state->batch.plan_of_request[static_cast<std::size_t>(req)])];
-      try {
-        run_plan_task(plan, unit.local, r.alpha, r.a, r.c, ctx);
-      } catch (...) {
-        bool claimed = false;
-        if (state->failed[req].compare_exchange_strong(claimed, true,
-                                                       std::memory_order_relaxed)) {
-          state->errors[static_cast<std::size_t>(req)] = std::current_exception();
+      if (!ticket.cancelled.load(std::memory_order_acquire)) {
+        const SteadyClock::time_point now = SteadyClock::now();
+        if (now >= ticket.deadline) {
+          // Expired before this unit computed: settle with DeadlineExceeded
+          // and skip the leaf GEMMs (any remaining units skip too).
+          ticket.cancelled.store(true, std::memory_order_release);
+          if (server->claim_and_release(ticket)) {
+            server->deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+            ticket.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+                "atalib: request deadline expired before execution")));
+          }
+        } else {
+          std::int64_t expected = -1;
+          if (ticket.started_ns.compare_exchange_strong(expected, ns_of(now),
+                                                        std::memory_order_acq_rel)) {
+            server->queue_wait_.record(elapsed_ns(ticket.admitted_at, now));
+          }
+          try {
+            if constexpr (fault::kEnabled) {
+              if (state->faults) {
+                state->faults->maybe_slow_task();
+                state->faults->maybe_throw_leaf();
+              }
+            }
+            run_plan_task(plan, unit.local, r.alpha, r.a, r.c, ctx);
+          } catch (...) {
+            bool claimed = false;
+            if (state->failed[req].compare_exchange_strong(claimed, true,
+                                                           std::memory_order_relaxed)) {
+              state->errors[static_cast<std::size_t>(req)] = std::current_exception();
+            }
+          }
         }
       }
       if (state->remaining[req].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        if (state->failed[req].load(std::memory_order_relaxed)) {
-          state->promises[static_cast<std::size_t>(req)].set_exception(
-              state->errors[static_cast<std::size_t>(req)]);
-        } else {
-          state->promises[static_cast<std::size_t>(req)].set_value();
+        if (server->claim_and_release(ticket)) {
+          server->completed_.fetch_add(1, std::memory_order_relaxed);
+          const std::int64_t started = ticket.started_ns.load(std::memory_order_acquire);
+          if (started >= 0) {
+            const std::int64_t done = ns_of(SteadyClock::now());
+            server->compute_.record(
+                done > started ? static_cast<std::uint64_t>(done - started) : 0);
+          }
+          if (state->failed[req].load(std::memory_order_relaxed)) {
+            ticket.promise.set_exception(state->errors[static_cast<std::size_t>(req)]);
+          } else {
+            ticket.promise.set_value();
+          }
         }
       }
+    }
+    if (state->chunks_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      server->on_batch_retired();
     }
   };
 
   const int nchunks = static_cast<int>(state->chunks.size());
   const int nnodes = pool_.numa_nodes();
+  runtime::ThreadPool::SubmitOptions pool_opts;
+  pool_opts.priority = batch_priority;
   if (nnodes > 1) {
     // Round-robin *chunks* over nodes (small single-task requests are
     // the common case), while a request split into stripes keeps its
     // plan's stripe->node mapping, rotated by the request index.
-    auto hint = [state, nnodes](int t) {
+    pool_opts.preferred_node = [state, nnodes](int t) {
       const BatchChunk chunk = state->chunks[static_cast<std::size_t>(t)];
       const BatchUnit unit = state->units[static_cast<std::size_t>(chunk.first_unit)];
       const AtaPlan& plan =
@@ -219,10 +495,8 @@ std::vector<std::future<void>> Server::submit_batch(std::span<const AtaRequest<T
       const int pref = plan.preferred_node(unit.local, nnodes);
       return pref < 0 ? unit.req % nnodes : (unit.req + pref) % nnodes;
     };
-    pool_.submit(nchunks, std::move(body), hint);
-  } else {
-    pool_.submit(nchunks, std::move(body));
   }
+  pool_.submit(nchunks, std::move(body), pool_opts);
   return futures;
 }
 

@@ -1,43 +1,112 @@
 #pragma once
-// Concurrent serving front-end: the cached-plan request path.
+// Concurrent serving front-end: the cached-plan request path, hardened for
+// overload (DESIGN.md §10).
 //
-// A Server owns a plan cache and a multi-batch ThreadPool. submit() admits
-// one lower(C) += alpha * A^T A request: build-or-fetch the plan, warm the
-// pool to the plan's workspace bound, and enqueue the plan's tasks as one
-// pool batch — then return a future. On the *warm* path (shape seen
-// before, workspace bound at or below the pool's warmed mark) submit never
-// blocks on compute: the plan is a cache hit, the warm check is two atomic
-// loads, and the batch is queued without waiting. A *cold* request pays
-// its setup in line: planning once per shape, and — when its workspace
-// bound exceeds the warmed mark — a pool quiescence wait while every slot
-// grows (admissions briefly queue behind that growth; see
-// ThreadPool::warm_workspaces). Multiple client threads submit
-// concurrently and their batches overlap on the pool's workers; the
-// per-slot workspace discipline holds because every task re-requests its
-// arena at body start.
+// A Server owns a sharded plan cache and a multi-batch ThreadPool. submit()
+// admits one lower(C) += alpha * A^T A request: pass the admission gate,
+// build-or-fetch the plan, warm the pool to the plan's workspace bound, and
+// enqueue the plan's tasks as one pool batch — then return a future. On the
+// *warm* path (shape seen before, workspace bound at or below the pool's
+// warmed mark) submit never blocks on compute: the plan is a cache hit, the
+// warm check is two atomic loads, and the batch is queued without waiting.
+// A *cold* request pays its setup in line: planning once per shape, and —
+// when its workspace bound exceeds the warmed mark — a pool quiescence wait
+// while every slot grows. Multiple client threads submit concurrently and
+// their batches overlap on the pool's workers.
 //
-// The warm serving path therefore performs zero schedule builds and zero
+// Overload control. Admission is bounded: at most max_inflight_requests
+// requests and max_queued_batches batches are in flight at once, and the
+// gate is consulted BEFORE any promise, plan lookup, or workspace exists.
+// When full, the AdmissionPolicy decides: kBlock waits for capacity,
+// kReject throws OverloadError synchronously, kShedOldest reclaims the
+// oldest deadline-expired admitted work (settling it with DeadlineExceeded)
+// and rejects only if nothing is sheddable. Every admitted request carries
+// an effective deadline (min of SharedOptions::deadline and the per-request
+// AtaRequest::deadline) checked again before its tasks compute, and a
+// priority that orders queued batches at the pool's pop/steal points.
+// Every admitted request's future is settled exactly once — with a value,
+// the task's own error, DeadlineExceeded, or ServerShutdown — including
+// across Server destruction under load.
+//
+// The warm serving path still performs zero schedule builds and zero
 // workspace slab allocations per request — the compile-once/execute-many
-// amortization the ROADMAP's repeated-traffic north star asks for.
+// amortization the ROADMAP's repeated-traffic north star asks for; the
+// admission gate adds one mutex acquisition to it.
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <future>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "api/batch.hpp"
+#include "api/errors.hpp"
 #include "api/plan_cache.hpp"
+#include "common/fault.hpp"
+#include "metrics/latency.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace atalib::api {
 
+/// What the admission gate does with a request that finds the server full.
+enum class AdmissionPolicy {
+  /// Wait for in-flight work to settle (the default; matches the historic
+  /// unbounded behavior when the limits are kUnlimited).
+  kBlock,
+  /// Throw OverloadError synchronously — before any promise exists.
+  kReject,
+  /// Settle the oldest admitted requests whose deadlines already expired
+  /// with DeadlineExceeded to free capacity; reject if nothing is
+  /// sheddable. Never sheds unexpired work.
+  kShedOldest,
+};
+
+namespace detail {
+
+/// Per-request settle state shared by the task path, the deadline check,
+/// the shed scan, and the destructor sweep. Whoever wins the `settled` CAS
+/// owns the promise and must release the request's admission slot.
+struct RequestTicket {
+  std::promise<void> promise;
+  std::atomic<bool> settled{false};
+  /// Set after an early settle (shed / deadline / shutdown): tasks that
+  /// observe it skip their compute entirely.
+  std::atomic<bool> cancelled{false};
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
+  std::chrono::steady_clock::time_point admitted_at{};
+  /// steady_clock nanos when the request's first task began computing;
+  /// -1 until then. Claimed by CAS so queue-wait is recorded once.
+  std::atomic<std::int64_t> started_ns{-1};
+};
+
+}  // namespace detail
+
 class Server {
  public:
+  /// "No limit" for the admission bounds below. Distinct from 0, which is
+  /// a genuine zero-capacity gate (every submit is refused).
+  static constexpr std::size_t kUnlimited = ~static_cast<std::size_t>(0);
+
   struct Options {
     /// Pool slots (0 = hardware concurrency). Workers = threads - 1; the
     /// warm serving path never blocks a client thread on compute.
     int threads = 0;
     /// LRU capacity of the plan cache (plans, not bytes).
     std::size_t plan_capacity = PlanCache::kDefaultCapacity;
+    /// Independent LRU+mutex shards of the plan cache (clamped to
+    /// [1, plan_capacity]); see PlanCache.
+    std::size_t plan_shards = PlanCache::kDefaultShards;
+    /// Admission bound on requests admitted but not yet settled.
+    std::size_t max_inflight_requests = kUnlimited;
+    /// Admission bound on batches admitted but not yet retired (a submit()
+    /// is a batch of one). 0 refuses every submission.
+    std::size_t max_queued_batches = kUnlimited;
+    /// What to do when either bound is hit.
+    AdmissionPolicy admission = AdmissionPolicy::kBlock;
   };
 
   Server() : Server(Options{}) {}
@@ -46,19 +115,27 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Destruction requires every submitted future to be ready (clients own
-  /// the a/c buffers, so an abandoned in-flight request would also be a
-  /// use-after-free on their side).
-  ~Server() = default;
+  /// Teardown under load is a defined path: every future still in flight
+  /// is settled with ServerShutdown (its tasks become no-ops), concurrent
+  /// blocked/new submissions throw ServerShutdown, and the destructor
+  /// waits for every admitted batch to retire before the pool joins — so
+  /// no task can touch server state, or a client's a/c buffers, after
+  /// ~Server returns. Requests whose compute already began still finish
+  /// that compute (a GEMM is never interrupted mid-write) but settle with
+  /// ServerShutdown regardless.
+  ~Server();
 
   /// Admit one request. `a` and `c` must stay valid until the returned
   /// future is ready, and `c` must not alias any other in-flight request's
   /// output. `opts.executor` is ignored (the server's pool executes);
-  /// `opts.threads`/`oversub`/`engine`/`recurse` select the plan. Warm
-  /// requests return without blocking; cold ones pay planning and
-  /// workspace growth in line (see the class comment). Throws
-  /// std::invalid_argument on bad options or shape mismatches before
-  /// anything is enqueued; a task failure surfaces on the future.
+  /// `opts.threads`/`oversub`/`engine`/`recurse` select the plan;
+  /// `opts.priority`/`opts.deadline` are this request's QoS. Warm requests
+  /// return without blocking; cold ones pay planning and workspace growth
+  /// in line (see the class comment). Throws std::invalid_argument on bad
+  /// options or shape mismatches, OverloadError per the admission policy,
+  /// and ServerShutdown when racing destruction — all before anything is
+  /// enqueued; a task failure, DeadlineExceeded, or ServerShutdown during
+  /// teardown surfaces on the future.
   template <typename T>
   std::future<void> submit(T alpha, ConstMatrixView<T> a, MatrixView<T> c,
                            SharedOptions opts);
@@ -69,18 +146,22 @@ class Server {
   std::future<void> submit(T alpha, ConstMatrixView<T> a, MatrixView<T> c);
 
   /// Admit many requests as ONE fused executor batch (the small-Gram
-  /// throughput path, DESIGN.md §8): group by shape through the plan cache
-  /// (one lookup per distinct shape), warm the pool once to the batch-wide
-  /// workspace bound, and enqueue every request's tasks as a single queued
-  /// pool batch with NUMA round-robin hints — per-worker pack buffers and
-  /// arenas are shared across the whole batch, so the warm path performs
-  /// zero schedule builds and zero slab allocations regardless of batch
-  /// size. Returns one future per request, in order; a task failure
-  /// surfaces on its own request's future only. Validation is
-  /// all-or-nothing: any bad request throws std::invalid_argument before
-  /// anything is enqueued. Buffer-lifetime rules match submit(), per
-  /// request. Requests of one batch share `opts` (and a scalar type);
-  /// opts.executor is ignored.
+  /// throughput path, DESIGN.md §8): one admission-gate pass for the whole
+  /// batch, group by shape through the plan cache (one lookup per distinct
+  /// shape), warm the pool once to the batch-wide workspace bound, and
+  /// enqueue every request's tasks as a single queued pool batch with NUMA
+  /// round-robin hints — per-worker pack buffers and arenas are shared
+  /// across the whole batch, so the warm path performs zero schedule
+  /// builds and zero slab allocations regardless of batch size. The
+  /// batch's pool priority is the max request (and opts) priority, and
+  /// higher-priority requests' tasks are ordered first within it. Returns
+  /// one future per request, in request order; a task failure surfaces on
+  /// its own request's future only, and an expired request settles with
+  /// DeadlineExceeded without computing. Validation is all-or-nothing: any
+  /// bad request throws std::invalid_argument before anything is enqueued
+  /// (the batch's admission is rolled back). Buffer-lifetime rules match
+  /// submit(), per request. Requests of one batch share `opts` (and a
+  /// scalar type); opts.executor is ignored.
   template <typename T>
   std::vector<std::future<void>> submit_batch(std::span<const AtaRequest<T>> requests,
                                               SharedOptions opts);
@@ -95,14 +176,78 @@ class Server {
   PlanCacheStats plan_stats() const { return cache_.stats(); }
   /// Topology + steal-locality snapshot of the serving pool: per-node
   /// scheduled/executed task counts and local/remote steal totals
-  /// (metrics/numa_stats.hpp). Pairs with plan_stats() as the
+  /// (metrics/numa_stats.hpp). Pairs with plan_stats()/stats() as the
   /// introspection surface a deployment scrapes.
   metrics::NumaPoolStats runtime_stats() const { return pool_.numa_stats(); }
+  /// Overload-control snapshot: admission outcome counters (monotonic),
+  /// in-flight gauges, and per-phase latency quantiles (admission-wait,
+  /// queue-wait, compute). Lock-free except the two gauges.
+  metrics::ServerStats stats() const;
   PlanCache& plans() { return cache_; }
   runtime::ThreadPool& executor() { return pool_; }
 
  private:
+  using Ticket = detail::RequestTicket;
+  using Clock = std::chrono::steady_clock;
+
+  /// Pass the admission gate for a batch of `nreq` requests; returns the
+  /// admission timestamp. Throws OverloadError/ServerShutdown per policy.
+  /// Re-entrant submissions (from inside a pool task, which execute
+  /// inline) bypass the bounds — blocking there would deadlock the worker.
+  Clock::time_point admit(std::size_t nreq);
+  /// Roll back an admit() whose batch failed validation/planning.
+  void unadmit(std::size_t nreq);
+  /// Settle every ledger ticket whose deadline has passed with
+  /// DeadlineExceeded; returns how many were shed.
+  std::size_t shed_expired(Clock::time_point now) ATALIB_REQUIRES(gate_mu_);
+  /// Win the settle CAS or return false. The winner's slot release +
+  /// ledger trim happens here too (under gate_mu_).
+  bool claim_and_release(Ticket& t);
+  /// Called by the last task of a batch: the final server-state touch of
+  /// any admitted batch — ~Server waits for queued_batches_ == 0, so the
+  /// server outlives every task-side access.
+  void on_batch_retired();
+
   PlanCache cache_;
+
+  // Admission configuration (immutable after construction).
+  std::size_t max_inflight_;
+  std::size_t max_batches_;
+  AdmissionPolicy policy_;
+  /// Parsed ATALIB_FAULTS plan (null unless the build enables injection
+  /// and the variable is set). Shared with batch states so hooks keep
+  /// working while the server tears down.
+  std::shared_ptr<const fault::Plan> faults_;
+
+  // Monotonic outcome counters (relaxed; see metrics::ServerStats).
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> completed_{0};
+
+  // Per-phase latency (lock-free).
+  metrics::LatencyHistogram admission_wait_;
+  metrics::LatencyHistogram queue_wait_;
+  metrics::LatencyHistogram compute_;
+
+  /// The admission gate. Guards the two in-flight gauges, the shutdown
+  /// flag, and the ledger of admitted-unsettled tickets (oldest first) the
+  /// shed scan and destructor sweep walk. Settled tickets are trimmed from
+  /// the front lazily on every release.
+  mutable Mutex gate_mu_;
+  std::condition_variable_any gate_cv_;
+  std::size_t inflight_requests_ ATALIB_GUARDED_BY(gate_mu_) = 0;
+  std::size_t queued_batches_ ATALIB_GUARDED_BY(gate_mu_) = 0;
+  /// kBlock admitters currently inside gate_cv_.wait; ~Server waits for
+  /// them to drain so no thread still waits on the cv when it destructs.
+  std::size_t gate_waiters_ ATALIB_GUARDED_BY(gate_mu_) = 0;
+  bool shutting_down_ ATALIB_GUARDED_BY(gate_mu_) = false;
+  std::deque<std::shared_ptr<Ticket>> ledger_ ATALIB_GUARDED_BY(gate_mu_);
+
+  /// Declared last so it destructs FIRST: ~ThreadPool joins the workers,
+  /// and that join is what guarantees no worker is still inside a mutex
+  /// unlock or histogram record when the members above destruct.
   runtime::ThreadPool pool_;
 };
 

@@ -1,0 +1,116 @@
+#include "common/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace atalib::fault {
+namespace {
+
+std::uint64_t parse_u64(std::string_view field, const std::string& spec) {
+  if (field.empty()) {
+    throw std::invalid_argument("ATALIB_FAULTS: empty numeric field in '" +
+                                spec + "'");
+  }
+  std::uint64_t v = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("ATALIB_FAULTS: non-numeric field '" +
+                                  std::string(field) + "' in '" + spec + "'");
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::shared_ptr<const Plan> Plan::parse(const std::string& spec) {
+  auto plan = std::make_shared<Plan>();
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (entry.empty()) {
+      // A stray comma is a typo'd spec, and a typo'd spec silently doing
+      // less than asked is the worst failure mode for a fault plan.
+      throw std::invalid_argument("ATALIB_FAULTS: empty entry in '" + spec + "'");
+    }
+
+    Site site;
+    int nfields = 0;
+    size_t colon = entry.find(':');
+    site.name = std::string(entry.substr(0, colon));
+    while (colon != std::string_view::npos) {
+      entry = entry.substr(colon + 1);
+      colon = entry.find(':');
+      const std::uint64_t v = parse_u64(entry.substr(0, colon), spec);
+      if (nfields == 0) {
+        site.n1 = v;
+      } else if (nfields == 1) {
+        site.n2 = v;
+      } else {
+        throw std::invalid_argument(
+            "ATALIB_FAULTS: more than two numeric fields in '" + spec + "'");
+      }
+      ++nfields;
+    }
+    if (site.name.empty()) {
+      throw std::invalid_argument("ATALIB_FAULTS: empty site name in '" +
+                                  spec + "'");
+    }
+    auto counter = std::make_unique<Counter>();
+    counter->site = std::move(site);
+    plan->sites_.push_back(std::move(counter));
+  }
+  if (plan->sites_.empty()) return nullptr;
+  return plan;
+}
+
+std::shared_ptr<const Plan> Plan::from_env() {
+  if constexpr (!kEnabled) return nullptr;
+  const char* spec = std::getenv("ATALIB_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return nullptr;
+  return parse(spec);
+}
+
+const Site* Plan::find(std::string_view name) const {
+  for (const auto& c : sites_) {
+    if (c->site.name == name) return &c->site;
+  }
+  return nullptr;
+}
+
+bool Plan::fire(std::string_view site, std::uint64_t every) const {
+  for (const auto& c : sites_) {
+    if (c->site.name != site) continue;
+    const std::uint64_t k =
+        c->count.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::uint64_t period = every == 0 ? 1 : every;
+    return k % period == 0;
+  }
+  return false;
+}
+
+void Plan::maybe_slow_task() const {
+  const Site* s = find("slow_task");
+  if (s == nullptr) return;
+  if (!fire("slow_task", s->n2)) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(s->n1));
+}
+
+void Plan::maybe_throw_leaf() const {
+  const Site* s = find("throw_leaf");
+  if (s == nullptr) return;
+  if (!fire("throw_leaf", s->n1)) return;
+  throw FaultInjected("atalib: injected leaf failure (ATALIB_FAULTS=throw_leaf)");
+}
+
+std::uint64_t Plan::queue_pressure() const {
+  const Site* s = find("queue_pressure");
+  return s == nullptr ? 0 : s->n1;
+}
+
+}  // namespace atalib::fault

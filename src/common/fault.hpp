@@ -1,0 +1,102 @@
+#pragma once
+// Deterministic fault injection for the serving layer (DESIGN.md §10,
+// tools/faults/README.md).
+//
+// The overload-control paths worth testing — reject, shed-oldest, deadline
+// expiry, error isolation — only trigger when the server is *unhealthy*:
+// tasks slow enough to back the queue up, leaves that throw, admission
+// pressure beyond what a small test workload generates. ATALIB_FAULTS
+// injects exactly those conditions on demand:
+//
+//   ATALIB_FAULTS=<site>[:<n1>[:<n2>]][,<site>...]
+//
+// Sites (occurrence counters are per fault::Plan, i.e. per Server, and
+// deterministic given a serial occurrence order):
+//   slow_task:us[:every]   every `every`-th served task unit (default 1)
+//                          sleeps `us` microseconds before computing
+//   throw_leaf[:every]     every `every`-th served task unit throws
+//                          fault::FaultInjected instead of computing
+//   queue_pressure:n       the admission gate behaves as if `n` phantom
+//                          requests were already in flight
+//
+// The hooks compile to nothing unless the build sets ATALIB_FAULT_INJECTION
+// (the CMake knob of the same name): kEnabled is a constexpr false there,
+// every injection point is behind `if constexpr`, and Plan::from_env()
+// returns null — a release server cannot be slowed down by a stray
+// environment variable. The parser itself is always compiled (it has
+// always-on unit tests and costs nothing at runtime).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atalib::fault {
+
+#if defined(ATALIB_FAULT_INJECTION)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// The error a `throw_leaf` fault raises. Distinct from the library's
+/// std::invalid_argument validation errors so tests can assert the failure
+/// they injected is the failure that surfaced.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One parsed fault site: `name[:n1[:n2]]`. n1/n2 default to 0 when
+/// absent; each site documents its own interpretation (see file comment).
+struct Site {
+  std::string name;
+  std::uint64_t n1 = 0;
+  std::uint64_t n2 = 0;
+};
+
+/// An immutable parsed ATALIB_FAULTS spec plus per-site occurrence
+/// counters. Shared by const pointer (the counters are atomic) between a
+/// Server and its in-flight batches, so injection keeps firing
+/// deterministically even while the server is being torn down.
+class Plan {
+ public:
+  /// Parse a spec string. Throws std::invalid_argument on an empty site
+  /// name, a non-numeric field, or more than two numeric fields.
+  static std::shared_ptr<const Plan> parse(const std::string& spec);
+
+  /// The process's ATALIB_FAULTS plan, re-read on every call so each
+  /// Server picks up the environment current at its construction. Null
+  /// when the variable is unset/empty — or always, in builds without
+  /// ATALIB_FAULT_INJECTION.
+  static std::shared_ptr<const Plan> from_env();
+
+  const Site* find(std::string_view name) const;
+  bool has(std::string_view name) const { return find(name) != nullptr; }
+
+  /// Count one occurrence of `site` and report whether it fires: the k-th
+  /// occurrence (k starting at 1) fires iff the site is present and
+  /// k % max(every, 1) == 0. Thread-safe; deterministic for a fixed
+  /// interleaving of occurrences.
+  bool fire(std::string_view site, std::uint64_t every) const;
+
+  /// `slow_task` hook: when it fires, sleep n1 microseconds (n2 = every).
+  void maybe_slow_task() const;
+  /// `throw_leaf` hook: when it fires (n1 = every), throw FaultInjected.
+  void maybe_throw_leaf() const;
+  /// `queue_pressure` hook: phantom in-flight requests the admission gate
+  /// must add (n1; 0 when the site is absent). Not occurrence-counted.
+  std::uint64_t queue_pressure() const;
+
+ private:
+  struct Counter {
+    Site site;
+    mutable std::atomic<std::uint64_t> count{0};
+  };
+  std::vector<std::unique_ptr<Counter>> sites_;
+};
+
+}  // namespace atalib::fault

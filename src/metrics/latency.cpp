@@ -1,0 +1,76 @@
+#include "metrics/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atalib::metrics {
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t ns) {
+  if (ns < kLinearBuckets) return static_cast<std::size_t>(ns);
+  // Octave o holds values in [16<<o, 16<<(o+1)), split into kSubBuckets
+  // equal slices of width (16<<o)/kSubBuckets = 2<<o.
+  std::size_t octave = 0;
+  std::uint64_t base = kLinearBuckets;
+  while (octave + 1 < kOctaves && ns >= (base << 1)) {
+    base <<= 1;
+    ++octave;
+  }
+  const std::uint64_t width = base / kSubBuckets;
+  std::uint64_t sub = (ns - base) / width;
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // clamp overflow octave
+  return kLinearBuckets + octave * kSubBuckets + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_edge(std::size_t bucket) {
+  if (bucket < kLinearBuckets) return bucket;
+  const std::size_t octave = (bucket - kLinearBuckets) / kSubBuckets;
+  const std::size_t sub = (bucket - kLinearBuckets) % kSubBuckets;
+  const std::uint64_t base = static_cast<std::uint64_t>(kLinearBuckets)
+                             << octave;
+  const std::uint64_t width = base / kSubBuckets;
+  return base + width * (sub + 1) - 1;
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t LatencyHistogram::quantile_ns(double q) const {
+  std::array<std::uint64_t, kBuckets> snap;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += snap[i];
+    if (seen >= rank) return bucket_upper_edge(i);
+  }
+  return bucket_upper_edge(kBuckets - 1);
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+LatencyStats summarize(const LatencyHistogram& h) {
+  LatencyStats s;
+  s.count = h.count();
+  if (s.count > 0) s.mean_ns = h.sum_ns() / s.count;
+  s.p50_ns = h.quantile_ns(0.50);
+  s.p99_ns = h.quantile_ns(0.99);
+  s.p999_ns = h.quantile_ns(0.999);
+  return s;
+}
+
+}  // namespace atalib::metrics

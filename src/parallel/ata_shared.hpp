@@ -13,6 +13,7 @@
 // benchmarking. Disjoint writes mean no locks and no atomics on C either
 // way — the paper's "perfect parallelism".
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -24,6 +25,10 @@ namespace atalib {
 namespace runtime {
 class Executor;
 }
+
+/// "No deadline": requests default to this and are never expired.
+inline constexpr std::chrono::steady_clock::time_point kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
 
 struct SharedOptions {
   /// The paper's P: the task tree is built as if for this many threads.
@@ -51,6 +56,17 @@ struct SharedOptions {
   index_t tall_skinny_ratio = 0;
   /// Execution engine; null uses runtime::default_executor().
   runtime::Executor* executor = nullptr;
+  /// Serving-layer QoS (api::Server; DESIGN.md §10) — ignored by the
+  /// direct ata_shared() call paths and deliberately NOT part of the plan
+  /// key (api::shared_plan_key), so traffic at every priority shares one
+  /// cached plan per shape. Higher priority drains first at the pool's
+  /// pop/steal points; FIFO within a class.
+  int priority = 0;
+  /// Batch-wide default deadline (steady clock, absolute). A request whose
+  /// effective deadline — min of this and the per-request deadline — has
+  /// passed before its tasks execute settles with api::DeadlineExceeded
+  /// without running any leaf GEMM.
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
 };
 
 /// Validate up front with a clear message (parity with

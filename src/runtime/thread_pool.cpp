@@ -173,23 +173,42 @@ void ThreadPool::drain_for(int slot, const Batch& batch) {
   }
 }
 
+std::deque<ThreadPool::Item>& ThreadPool::class_for(Queue& q, int priority) {
+  // Classes stay sorted descending; the common case (priority 0, one
+  // class) hits the scan's first element.
+  auto it = q.classes.begin();
+  while (it != q.classes.end() && it->priority > priority) ++it;
+  if (it == q.classes.end() || it->priority != priority) {
+    it = q.classes.insert(it, Queue::Class{priority, {}});
+  }
+  return it->tasks;
+}
+
 bool ThreadPool::try_pop(int slot, Item& item) {
   Queue& q = *queues_[static_cast<std::size_t>(slot)];
   MutexLock lk(q.mu);
-  if (q.tasks.empty()) return false;
-  item = std::move(q.tasks.front());
-  q.tasks.pop_front();
+  if (q.classes.empty()) return false;
+  // Highest priority class first (classes are sorted descending), hot end.
+  auto& tasks = q.classes.front().tasks;
+  item = std::move(tasks.front());
+  tasks.pop_front();
+  if (tasks.empty()) q.classes.erase(q.classes.begin());
+  queued_tasks_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
 bool ThreadPool::try_steal_from(int thief, int victim, Item& item) {
   Queue& q = *queues_[static_cast<std::size_t>(victim)];
   MutexLock lk(q.mu);
-  if (q.tasks.empty()) return false;
-  // Steal from the cold end: the victim pops its own front, so the two
-  // ends never contend on the same task under load.
-  item = std::move(q.tasks.back());
-  q.tasks.pop_back();
+  if (q.classes.empty()) return false;
+  // Steal from the cold end of the *highest* class: priority governs which
+  // class drains, while within the class the victim pops its own front and
+  // thieves take the back, so the two ends never contend on one task.
+  auto& tasks = q.classes.front().tasks;
+  item = std::move(tasks.back());
+  tasks.pop_back();
+  if (tasks.empty()) q.classes.erase(q.classes.begin());
+  queued_tasks_.fetch_sub(1, std::memory_order_relaxed);
   if (node_of_slot(victim) == node_of_slot(thief)) {
     local_steals_.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -270,8 +289,8 @@ void ThreadPool::execute(int slot, Item item) {
 }
 
 std::shared_ptr<ThreadPool::Batch> ThreadPool::enqueue(int ntasks, TaskFn fn, int dist_slots,
-                                                       const NodeHintFn* hint) {
-  auto batch = std::make_shared<Batch>(ntasks, std::move(fn));
+                                                       const NodeHintFn* hint, int priority) {
+  auto batch = std::make_shared<Batch>(ntasks, std::move(fn), priority);
   {
     // Register before any queue push: a pending warm must either see this
     // batch as active or admit it only after the warm finished — never
@@ -291,7 +310,10 @@ std::shared_ptr<ThreadPool::Batch> ThreadPool::enqueue(int ntasks, TaskFn fn, in
       if (hi == lo) continue;
       Queue& q = *queues_[static_cast<std::size_t>(s)];
       MutexLock qlk(q.mu);
-      for (int t = lo; t < hi; ++t) q.tasks.push_back(Item{batch, t});
+      auto& tasks = class_for(q, priority);
+      for (int t = lo; t < hi; ++t) tasks.push_back(Item{batch, t});
+      queued_tasks_.fetch_add(static_cast<std::uint64_t>(hi - lo),
+                              std::memory_order_relaxed);
       scheduled_per_node_[static_cast<std::size_t>(node_of_slot(s))].fetch_add(
           static_cast<std::uint64_t>(hi - lo), std::memory_order_relaxed);
     }
@@ -324,13 +346,15 @@ std::shared_ptr<ThreadPool::Batch> ThreadPool::enqueue(int ntasks, TaskFn fn, in
       bucket[static_cast<std::size_t>(slot)].push_back(t);
     }
     for (int s = 0; s < dist_slots; ++s) {
-      const auto& tasks = bucket[static_cast<std::size_t>(s)];
-      if (tasks.empty()) continue;
+      const auto& ids = bucket[static_cast<std::size_t>(s)];
+      if (ids.empty()) continue;
       Queue& q = *queues_[static_cast<std::size_t>(s)];
       MutexLock qlk(q.mu);
-      for (int t : tasks) q.tasks.push_back(Item{batch, t});
+      auto& tasks = class_for(q, priority);
+      for (int t : ids) tasks.push_back(Item{batch, t});
+      queued_tasks_.fetch_add(ids.size(), std::memory_order_relaxed);
       scheduled_per_node_[static_cast<std::size_t>(node_of_slot(s))].fetch_add(
-          tasks.size(), std::memory_order_relaxed);
+          ids.size(), std::memory_order_relaxed);
     }
   }
   {
@@ -370,7 +394,7 @@ void ThreadPool::run_with_hint(int ntasks, const TaskFn& fn, int width,
     run_inline(ntasks, fn);
     return;
   }
-  auto batch = enqueue(ntasks, fn, nslots, hint);
+  auto batch = enqueue(ntasks, fn, nslots, hint, /*priority=*/0);
   std::future<void> done = batch->done.get_future();
   // Participate as the caller slot if no other concurrent caller claimed
   // it; otherwise just wait (two callers must not share slot workspaces).
@@ -392,7 +416,7 @@ void ThreadPool::run_placed(int ntasks, const TaskFn& fn, int width,
 }
 
 std::future<void> ThreadPool::submit_with_hint(int ntasks, TaskFn fn,
-                                               const NodeHintFn* hint) {
+                                               const NodeHintFn* hint, int priority) {
   std::promise<void> ready;
   if (ntasks <= 0) {
     ready.set_value();
@@ -412,18 +436,25 @@ std::future<void> ThreadPool::submit_with_hint(int ntasks, TaskFn fn,
   }
   // Distribute over the worker slots only — nobody drains the caller slot
   // on this path until a worker steals from it.
-  auto batch = enqueue(ntasks, std::move(fn), nslots - 1, hint);
+  auto batch = enqueue(ntasks, std::move(fn), nslots - 1, hint, priority);
   return batch->done.get_future();
 }
 
 std::future<void> ThreadPool::submit(int ntasks, TaskFn fn) {
-  return submit_with_hint(ntasks, std::move(fn), nullptr);
+  return submit_with_hint(ntasks, std::move(fn), nullptr, 0);
 }
 
 std::future<void> ThreadPool::submit(int ntasks, TaskFn fn,
                                      const NodeHintFn& preferred_node) {
   return submit_with_hint(ntasks, std::move(fn),
-                          preferred_node ? &preferred_node : nullptr);
+                          preferred_node ? &preferred_node : nullptr, 0);
+}
+
+std::future<void> ThreadPool::submit(int ntasks, TaskFn fn,
+                                     const SubmitOptions& opts) {
+  return submit_with_hint(ntasks, std::move(fn),
+                          opts.preferred_node ? &opts.preferred_node : nullptr,
+                          opts.priority);
 }
 
 void ThreadPool::warm_workspaces(std::size_t float_elems, std::size_t double_elems) {

@@ -140,6 +140,31 @@ class ThreadPool final : public Executor {
   /// nodes round-robin.
   std::future<void> submit(int ntasks, TaskFn fn, const NodeHintFn& preferred_node);
 
+  /// Knobs for the queued path that don't fit positional overloads (an
+  /// int priority would be ambiguous against NodeHintFn's converting
+  /// constructor).
+  struct SubmitOptions {
+    /// Batch priority class: at every pop and steal point a slot drains
+    /// the highest-priority class present, FIFO within the class. Equal
+    /// priorities behave exactly like the historical single-deque pool.
+    /// Priority reorders *queued* work only — it never preempts a running
+    /// task — and the blocking-batch invariant above is unaffected
+    /// because it binds only the unhinted run() path, which always
+    /// enqueues at priority 0.
+    int priority = 0;
+    /// Per-task preferred-node hint (see run_placed); empty = none.
+    NodeHintFn preferred_node;
+  };
+
+  /// submit() with priority and/or placement hints.
+  std::future<void> submit(int ntasks, TaskFn fn, const SubmitOptions& opts);
+
+  /// Tasks currently sitting in the slot queues (admitted, not yet popped
+  /// or stolen). Instantaneous gauge for the serving metrics surface.
+  std::uint64_t queue_depth() const {
+    return queued_tasks_.load(std::memory_order_relaxed);
+  }
+
   void warm_workspaces(std::size_t float_elems, std::size_t double_elems) override;
 
   /// The process-wide pool used by default_executor(): hardware-sized,
@@ -189,9 +214,11 @@ class ThreadPool final : public Executor {
  private:
   /// One admitted batch: body, countdown, first task error, completion.
   struct Batch {
-    Batch(int ntasks, TaskFn body) : fn(std::move(body)), remaining(ntasks) {}
+    Batch(int ntasks, TaskFn body, int prio)
+        : fn(std::move(body)), remaining(ntasks), priority(prio) {}
     TaskFn fn;
     std::atomic<int> remaining;
+    int priority;  // queue class its tasks were enqueued under
     Mutex err_mu;  // serializes concurrent failing tasks
     std::exception_ptr first_error ATALIB_GUARDED_BY(err_mu);
     std::promise<void> done;
@@ -204,19 +231,35 @@ class ThreadPool final : public Executor {
     int task = -1;
   };
 
+  /// Per-slot queue: one FIFO deque per priority class, kept sorted
+  /// highest-priority-first. pop takes the hot end (front) and steal the
+  /// cold end (back) of the *highest* class present, so a high-priority
+  /// batch admitted behind queued low-priority work drains first at every
+  /// pop/steal point without preempting anything already running. With a
+  /// single class (the common case — priority 0) this degenerates to the
+  /// historical one-deque behavior.
   struct Queue {
+    struct Class {
+      int priority = 0;
+      std::deque<Item> tasks;
+    };
     Mutex mu;
-    std::deque<Item> tasks ATALIB_GUARDED_BY(mu);
+    std::vector<Class> classes ATALIB_GUARDED_BY(mu);  // descending priority
   };
+
+  /// The class for `priority` in q (creating it in sorted position).
+  static std::deque<Item>& class_for(Queue& q, int priority)
+      ATALIB_REQUIRES(q.mu);
 
   /// Admit a batch: register it (queuing behind any waiting warm),
   /// distribute its tasks over the first `dist_slots` queues — blockwise
   /// without a hint, round-robin within each task's preferred node with one
   /// — and wake the workers. Returns the batch for completion waiting.
   std::shared_ptr<Batch> enqueue(int ntasks, TaskFn fn, int dist_slots,
-                                 const NodeHintFn* hint);
+                                 const NodeHintFn* hint, int priority);
   void run_with_hint(int ntasks, const TaskFn& fn, int width, const NodeHintFn* hint);
-  std::future<void> submit_with_hint(int ntasks, TaskFn fn, const NodeHintFn* hint);
+  std::future<void> submit_with_hint(int ntasks, TaskFn fn, const NodeHintFn* hint,
+                                     int priority);
   void run_inline(int ntasks, const TaskFn& fn);
   void worker_main(int slot);
   void pin_to_node(int slot);
@@ -272,6 +315,9 @@ class ThreadPool final : public Executor {
   std::atomic<std::uint64_t> local_steals_{0};
   std::atomic<std::uint64_t> remote_steals_{0};
   std::atomic<std::uint64_t> batches_{0};
+  /// Tasks in the slot queues right now (see queue_depth()); incremented
+  /// at push, decremented at pop/steal.
+  std::atomic<std::uint64_t> queued_tasks_{0};
   /// Per-node task counters (see scheduled_on_node/executed_on_node);
   /// heap-array because std::atomic is immovable and the node count is a
   /// construction-time constant.

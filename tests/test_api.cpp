@@ -59,7 +59,10 @@ std::size_t pool_slab_grows(runtime::ThreadPool& pool) {
 // ---- PlanCache --------------------------------------------------------
 
 TEST(PlanCache, HitMissEvictionOrderAndStats) {
-  api::PlanCache cache(2);
+  // One shard: this test pins the strict *global* LRU order, which only a
+  // single-shard cache guarantees (the default sharded cache is LRU per
+  // shard; see PlanCache.ShardedBuildOnceUnderConcurrentMisses).
+  api::PlanCache cache(2, 1);
   const auto ka = key_for(48, 40, 2, 1);
   const auto kb = key_for(56, 44, 2, 1);
   const auto kc = key_for(64, 48, 2, 1);
